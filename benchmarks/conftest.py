@@ -1,0 +1,13 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's measured artifacts
+(Figure 6, Figure 7, the same-subnet switch experiment) or an ablation
+(routing options, foreign agent).  The experiment harnesses are
+deterministic, so a single round is meaningful; pytest-benchmark provides
+wall-clock cost of regenerating each artifact, and the assertions check
+the *shape* of the result against the paper.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""

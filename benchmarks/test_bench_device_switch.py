@@ -1,0 +1,47 @@
+"""Figure 6 benchmark: device switching overhead.
+
+Paper shape: cold switches lose packets over an interval "generally less
+than 1.25 seconds" (<= ~5 packets at 250 ms spacing), dominated by
+bringing up the new interface; hot switches usually lose nothing (the
+only observed loss was the radio's own drop).
+"""
+
+import pytest
+
+from repro.experiments.exp_device_switch import (
+    PAPER_COLD_OUTAGE_BOUND_MS,
+    SwitchCase,
+    run_device_switch_experiment,
+)
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6_device_switching(benchmark):
+    report = benchmark.pedantic(run_device_switch_experiment,
+                                rounds=1, iterations=1)
+    print()
+    print(report.format_report())
+
+    cold_eth_radio = report.cases[SwitchCase.COLD_WIRED_TO_WIRELESS]
+    cold_radio_eth = report.cases[SwitchCase.COLD_WIRELESS_TO_WIRED]
+    hot_eth_radio = report.cases[SwitchCase.HOT_WIRED_TO_WIRELESS]
+    hot_radio_eth = report.cases[SwitchCase.HOT_WIRELESS_TO_WIRED]
+
+    # Shape 1: cold switches lose packets; the bound is ~5 at 250 ms.
+    for cold in (cold_eth_radio, cold_radio_eth):
+        assert cold.mean_loss >= 1
+        assert cold.max_loss <= 6
+        assert max(cold.switch_totals_ms) < PAPER_COLD_OUTAGE_BOUND_MS * 1.2
+
+    # Shape 2: hot switches lose (almost) nothing.
+    assert hot_radio_eth.mean_loss == 0
+    assert hot_eth_radio.mean_loss <= 0.5  # radio's own occasional drop
+
+    # Shape 3: cold loses strictly more than hot, in both directions.
+    assert cold_eth_radio.mean_loss > hot_eth_radio.mean_loss
+    assert cold_radio_eth.mean_loss > hot_radio_eth.mean_loss
+
+    # Shape 4: bringing up the radio costs more than the Ethernet card,
+    # so the eth->radio cold switch is the slowest.
+    assert (sum(cold_eth_radio.switch_totals_ms)
+            > sum(cold_radio_eth.switch_totals_ms))

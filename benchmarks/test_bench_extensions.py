@@ -1,0 +1,71 @@
+"""Benchmarks for the extension experiments (deferred paper features).
+
+Each of these quantifies something the paper names but did not measure:
+the reverse-path optimization through smart correspondents (Sections 3.2
+and 5.1), the home agent's many-hosts scalability claim (Section 4), and
+the switch-decision policy (Section 6).
+"""
+
+import pytest
+
+from repro.experiments.exp_autoswitch import run_autoswitch_experiment
+from repro.experiments.exp_ha_scalability import run_ha_scalability_experiment
+from repro.experiments.exp_smart_correspondent import (
+    run_smart_correspondent_experiment,
+)
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_smart_correspondent_reverse_path(benchmark):
+    report = benchmark.pedantic(run_smart_correspondent_experiment,
+                                rounds=1, iterations=1)
+    print()
+    print(report.format_report())
+
+    # Shape: the optimization is real (faster) and complete (the home
+    # agent carries none of the optimized traffic)...
+    assert report.speedup > 1.2
+    assert report.ha_packets_optimized == 0
+    assert report.ha_packets_plain > 0
+    # ...and losing the cache degrades gracefully to the basic protocol.
+    assert report.fallback_lossless
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_home_agent_scalability(benchmark):
+    report = benchmark.pedantic(run_ha_scalability_experiment,
+                                rounds=1, iterations=1)
+    print()
+    print(report.format_report())
+
+    # Every registration is eventually accepted at every fleet size.
+    for result in report.results:
+        assert result.accepted == result.fleet_size
+    # Latency grows roughly linearly with simultaneous arrivals (queueing
+    # behind ~1.5 ms of processing each), not explosively.
+    single = report.results[0].latency.mean
+    largest = report.results[-1]
+    per_host = (largest.latency.maximum - single) / largest.fleet_size
+    assert 0.5 < per_host < 3.0  # ms per queued registration
+    # The paper's claim quantified: even 50 simultaneous mobile hosts are
+    # all registered within a tenth of a second.
+    assert largest.latency.maximum < 100.0
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_autoswitch_probe_cadence_tradeoff(benchmark):
+    report = benchmark.pedantic(run_autoswitch_experiment,
+                                rounds=1, iterations=1)
+    print()
+    print(report.format_report())
+
+    points = report.points
+    # Faster probing -> shorter outage (monotone within the sweep ends).
+    assert points[0].packets_lost < points[-1].packets_lost
+    assert points[0].failover_ms < points[-1].failover_ms
+    # ...but more background traffic.
+    assert points[0].probes_per_second > points[-1].probes_per_second
+    # Failover time is governed by detection, i.e. a small multiple of
+    # the probe interval plus the probe timeout.
+    for point in points:
+        assert point.failover_ms < point.probe_interval_ms * 3 + 1500

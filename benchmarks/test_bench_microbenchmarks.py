@@ -1,0 +1,87 @@
+"""Microbenchmarks of the substrate itself.
+
+These are not paper artifacts; they characterize the simulator so users
+know what a given experiment costs (events/second, per-packet overhead).
+"""
+
+import pytest
+
+from repro.net.addressing import ip
+from repro.sim import Simulator, ms, s
+from repro.testbed import build_testbed
+from repro.workloads import UdpEchoResponder, UdpEchoStream
+
+
+@pytest.mark.benchmark(group="micro")
+def test_engine_event_throughput(benchmark):
+    """Cost of scheduling + running 10k trivial events."""
+
+    def run() -> int:
+        sim = Simulator()
+        counter = []
+        for index in range(10_000):
+            sim.call_at(index, lambda: counter.append(None))
+        sim.run()
+        return len(counter)
+
+    executed = benchmark(run)
+    assert executed == 10_000
+
+
+@pytest.mark.benchmark(group="micro")
+def test_tunneled_echo_round_trips(benchmark):
+    """End-to-end cost of 100 tunneled echo round trips on the testbed."""
+
+    def run() -> int:
+        sim = Simulator(seed=1)
+        testbed = build_testbed(sim, with_remote_correspondent=False,
+                                with_dhcp=False)
+        testbed.visit_dept()
+        sim.run_for(s(1))
+        UdpEchoResponder(testbed.mobile)
+        stream = UdpEchoStream(testbed.correspondent,
+                               testbed.addresses.mh_home, interval=ms(10))
+        stream.start()
+        sim.run_for(ms(10) * 100)
+        stream.stop()
+        sim.run_for(s(1))
+        return stream.received
+
+    received = benchmark(run)
+    assert received >= 100
+
+
+@pytest.mark.benchmark(group="micro")
+def test_testbed_construction(benchmark):
+    """Cost of building the full Figure-5 testbed."""
+
+    def run():
+        sim = Simulator(seed=1)
+        return build_testbed(sim)
+
+    testbed = benchmark(run)
+    assert testbed.mobile.at_home
+
+
+@pytest.mark.benchmark(group="micro")
+def test_tcp_bulk_transfer_wallclock(benchmark):
+    """Simulator cost of a 200-chunk TCP session across the tunnel."""
+    from repro.workloads import TcpBulkReceiver, TcpBulkSender
+
+    def run() -> int:
+        sim = Simulator(seed=1)
+        testbed = build_testbed(sim, with_remote_correspondent=False,
+                                with_dhcp=False)
+        testbed.visit_dept()
+        sim.run_for(s(1))
+        receiver = TcpBulkReceiver(testbed.mobile)
+        sender = TcpBulkSender(testbed.correspondent,
+                               testbed.addresses.mh_home, interval=ms(20))
+        sender.start()
+        sim.run_for(s(4))
+        sender.finish()
+        sim.run_for(s(10))
+        return len(receiver.received_chunks)
+
+    delivered = benchmark(run)
+    assert delivered >= 195

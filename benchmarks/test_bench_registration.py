@@ -1,0 +1,36 @@
+"""Figure 7 benchmark: the registration time-line.
+
+Paper numbers: total switch 7.39 ms, request->reply 4.79 ms, home-agent
+processing 1.48 ms (averages of 10 tests on the real testbed).
+"""
+
+import pytest
+
+from repro.experiments.exp_registration import (
+    PAPER_HA_PROCESSING_MS,
+    PAPER_REQUEST_REPLY_MS,
+    PAPER_TOTAL_MS,
+    run_registration_experiment,
+)
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7_registration_timeline(benchmark):
+    report = benchmark.pedantic(run_registration_experiment,
+                                rounds=1, iterations=1)
+    print()
+    print(report.format_report())
+
+    # Shape: each headline number lands within 15% of the paper's.
+    assert report.total.mean == pytest.approx(PAPER_TOTAL_MS, rel=0.15)
+    assert report.request_reply.mean == pytest.approx(PAPER_REQUEST_REPLY_MS,
+                                                      rel=0.15)
+    assert report.ha_processing.mean == pytest.approx(PAPER_HA_PROCESSING_MS,
+                                                      rel=0.15)
+    # Structural claims: registration dominates the switch; the switch is
+    # overwhelmingly software (total well under 10 ms).
+    assert report.request_reply.mean > report.total.mean / 2
+    assert report.total.mean < 10.0
+    # "The home agent should be able to deal with a large number of mobile
+    # hosts simultaneously": HA processing is a small slice of the total.
+    assert report.ha_processing.mean < report.total.mean / 4

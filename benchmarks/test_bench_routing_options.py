@@ -1,0 +1,63 @@
+"""Routing-options benchmark (Section 3.2 / Figure 3 + ablation A2).
+
+Shape claims from the paper:
+
+* tunneling pays the home-agent detour in *both* directions; the triangle
+  route removes it from the outgoing direction only; plain local traffic
+  avoids it entirely;
+* encapsulation costs exactly 20 bytes per packet;
+* the plain triangle route dies behind a transit-traffic filter, the
+  tunnel and the encapsulated-direct variant survive;
+* a failed probe makes the Mobile Policy Table fall back to the tunnel.
+"""
+
+import pytest
+
+from repro.core.policy import RoutingMode
+from repro.experiments.exp_routing_options import (
+    PAPER_ENCAP_OVERHEAD_BYTES,
+    run_routing_options_experiment,
+)
+
+
+@pytest.mark.benchmark(group="routing-options")
+def test_routing_options_ablation(benchmark):
+    report = benchmark.pedantic(run_routing_options_experiment,
+                                rounds=1, iterations=1)
+    print()
+    print(report.format_report())
+
+    tunnel = report.results[RoutingMode.TUNNEL]
+    triangle = report.results[RoutingMode.TRIANGLE]
+    encap_direct = report.results[RoutingMode.ENCAP_DIRECT]
+    local = report.results[RoutingMode.LOCAL]
+
+    # Latency ordering to a nearby correspondent:
+    # local < triangle (reply still detours) < tunnel (both ways detour).
+    assert local.rtt_nearby.mean < triangle.rtt_nearby.mean
+    assert triangle.rtt_nearby.mean < tunnel.rtt_nearby.mean
+    # The triangle saves roughly the one-way detour: its RTT sits between
+    # half of and the full tunneled RTT.
+    assert triangle.rtt_nearby.mean > tunnel.rtt_nearby.mean / 2
+
+    # Encapsulation overhead is exactly one IP header.
+    for mode in (tunnel, encap_direct):
+        assert mode.encap_overhead_bytes == PAPER_ENCAP_OVERHEAD_BYTES
+    for mode in (triangle, local):
+        assert mode.encap_overhead_bytes == 0
+
+    # Transit filter: only the plain triangle dies.
+    assert not triangle.survives_transit_filter
+    assert tunnel.survives_transit_filter
+    assert encap_direct.survives_transit_filter
+    assert local.survives_transit_filter
+
+    # Mobility preservation: local mode sacrifices it.
+    assert not local.preserves_mobility
+    assert all(report.results[m].preserves_mobility
+               for m in (RoutingMode.TUNNEL, RoutingMode.TRIANGLE,
+                         RoutingMode.ENCAP_DIRECT))
+
+    # The dynamic fallback worked end to end.
+    assert report.fallback_probe_failed
+    assert report.fallback_recovered

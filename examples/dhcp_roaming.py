@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""DHCP-based roaming and the mobile host's two roles (Sections 2, 5.1-5.2).
+
+MosquitoNet's key bet: a visited network owes the mobile host nothing but
+"a dynamically-assigned temporary IP care-of address", most easily via
+DHCP.  This demo shows the full life of that bet:
+
+* the mobile host arrives on net 36.8 with no address, runs the DHCP
+  handshake, and registers the leased address as its care-of address;
+* the **local role**: the DHCP lease renewal and answers to a foreign
+  network's ping probes use the care-of address directly, outside mobile
+  IP, while ordinary application traffic (the **home role**) keeps the
+  home address and rides the tunnel;
+* on departure the address is released, and the server's reuse-avoidance
+  (Section 5.1's accidental-eavesdropping note) hands the next visitor a
+  *different* address for as long as the pool allows.
+
+Run:  python examples/dhcp_roaming.py
+"""
+
+from repro.net.dhcp import DHCPClient
+from repro.sim import Simulator, ms, ns_to_ms, s
+from repro.testbed import build_testbed
+from repro.workloads import UdpEchoResponder, UdpEchoStream
+
+
+def main() -> None:
+    sim = Simulator(seed=5)
+    testbed = build_testbed(sim)  # includes the DHCP server on net 36.8
+    addresses = testbed.addresses
+    mobile = testbed.mobile
+    assert testbed.mh_dhcp is not None and testbed.dhcp_server is not None
+
+    # Arrive on the department network with no address at all.
+    testbed.move_mh_cable(testbed.dept_segment)
+    testbed.mh_eth.remove_address(addresses.mh_home)
+    mobile.ip.routes.remove_matching(interface=testbed.mh_eth)
+    testbed.mh_eth.subnet = addresses.dept_net
+
+    print("1. Acquire a care-of address via DHCP")
+    leases = []
+    testbed.mh_dhcp.acquire(on_bound=leases.append)
+    sim.run_for(s(1))
+    lease = leases[0]
+    print(f"  leased {lease.address} (gateway {lease.gateway}, "
+          f"lease {lease.lease_time / 1e9:.0f} s)")
+
+    print("\n2. Adopt it as the care-of address and register")
+    registrations = []
+    mobile.start_visiting(testbed.mh_eth, lease.address, lease.subnet,
+                          lease.gateway,
+                          on_registered=lambda o: registrations.append(o))
+    sim.run_for(s(1))
+    print(f"  registered with the home agent in "
+          f"{ns_to_ms(registrations[0].round_trip):.2f} ms; binding -> "
+          f"{testbed.home_agent.current_care_of(addresses.mh_home)}")
+
+    print("\n3. Home role and local role, side by side")
+    UdpEchoResponder(mobile)
+    stream = UdpEchoStream(testbed.correspondent, addresses.mh_home,
+                           interval=ms(200))
+    stream.start()
+    # A foreign-network management probe pings the care-of address
+    # directly — the mobile host answers from the care-of address
+    # (local role), no mobile IP involved.
+    probe_results = []
+    testbed.correspondent.icmp.ping(
+        lease.address,
+        on_reply=lambda rtt: probe_results.append(ns_to_ms(rtt)),
+        on_timeout=lambda: probe_results.append(None))
+    sim.run_for(s(2))
+    stream.stop()
+    sim.run_for(s(1))
+    print(f"  home-role traffic (to {addresses.mh_home}): "
+          f"{stream.received}/{stream.sent} echoes via the tunnel")
+    print(f"  local-role probe of the care-of address answered in "
+          f"{probe_results[0]:.2f} ms")
+
+    print("\n4. Leave politely; the server avoids re-using the address")
+    released = lease.address
+    testbed.mh_dhcp.release()
+    sim.run_for(s(1))
+    # The next visitor arrives and asks for an address.
+    other = DHCPClient(testbed.correspondent,
+                       testbed.correspondent.interfaces[1],
+                       client_id="visitor-2")
+    other_leases = []
+    other.acquire(on_bound=other_leases.append)
+    sim.run_for(s(1))
+    print(f"  we released {released}; the next visitor got "
+          f"{other_leases[0].address} (reuse avoided: "
+          f"{other_leases[0].address != released})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Seamless device switching: a TCP session survives wired->wireless moves.
+
+The paper's motivating scenario: "applications that run for extended
+periods of time and build up nontrivial state, such as remote logins with
+active processes" must not be restarted when the network changes.  Here a
+correspondent streams a long-running TCP session to the mobile host's home
+address while the mobile host:
+
+1. cold-switches from Ethernet (net 36.8) to the Metricom radio
+   (net 36.134) — the Ethernet goes away before the radio is up, so
+   segments are lost and TCP retransmits them;
+2. hot-switches back to Ethernet — both interfaces are up, so the switch
+   is invisible.
+
+The connection never breaks and every chunk arrives exactly once, in
+order.  Run:  python examples/seamless_handoff.py
+"""
+
+from repro.core.handoff import DeviceSwitcher
+from repro.sim import Simulator, ms, ns_to_ms, s
+from repro.testbed import build_testbed
+from repro.workloads import TcpBulkReceiver, TcpBulkSender
+
+
+def main() -> None:
+    sim = Simulator(seed=99)
+    testbed = build_testbed(sim, with_remote_correspondent=False,
+                            with_dhcp=False)
+    addresses = testbed.addresses
+
+    # Start away from home on the department Ethernet; the radio exists
+    # but is powered down (its static address is pre-configured).
+    testbed.visit_dept()
+    testbed.mh_radio.subnet = addresses.radio_net
+    testbed.mh_radio.add_address(addresses.mh_radio, make_primary=True)
+    sim.run_for(s(1))
+
+    # A long-lived TCP session to the home address — think remote login.
+    receiver = TcpBulkReceiver(testbed.mobile)
+    sender = TcpBulkSender(testbed.correspondent, addresses.mh_home,
+                           interval=ms(200))
+    sender.start()
+    sim.run_for(s(3))
+    print(f"session established: {sender.established}; "
+          f"{len(receiver.received_chunks)} chunks delivered so far")
+
+    # --- Cold switch: Ethernet dies, radio comes up -----------------------
+    switcher = DeviceSwitcher(testbed.mobile)
+    timelines = []
+    switcher.cold_switch(testbed.mh_eth, testbed.mh_radio,
+                         addresses.mh_radio, addresses.radio_net,
+                         addresses.router_radio, on_done=timelines.append)
+    sim.run_for(s(8))
+    cold = timelines[0]
+    conn = receiver.connection
+    print(f"\ncold switch ethernet->radio took {ns_to_ms(cold.total):.0f} ms "
+          f"(interface up alone: "
+          f"{ns_to_ms(cold.duration_of('interface_up')):.0f} ms)")
+    print(f"  TCP retransmitted {sender.connection.segments_retransmitted} "
+          f"segments to cover the outage; connection state: "
+          f"{sender.connection.state.value}")
+    print(f"  {len(receiver.received_chunks)} chunks delivered, "
+          f"in order: {receiver.in_order}")
+
+    # --- Hot switch back: both interfaces up ------------------------------
+    retrans_before = sender.connection.segments_retransmitted
+    testbed.mh_eth.bring_up()
+    sim.run_for(s(1))
+    timelines.clear()
+    switcher.hot_switch(testbed.mh_eth, addresses.mh_dept_care_of,
+                        addresses.dept_net, addresses.router_dept,
+                        on_done=timelines.append)
+    sim.run_for(s(5))
+    hot = timelines[0]
+    print(f"\nhot switch radio->ethernet took {ns_to_ms(hot.total):.0f} ms")
+    print(f"  extra retransmissions caused: "
+          f"{sender.connection.segments_retransmitted - retrans_before}")
+
+    sender.finish()
+    sim.run_for(s(5))
+    expected = list(range(sender.sent_chunks))
+    print(f"\nfinal: {len(receiver.received_chunks)}/{sender.sent_chunks} "
+          f"chunks, exactly once and in order: "
+          f"{receiver.received_chunks == expected}")
+    print(f"connection closed cleanly: {receiver.closed}; "
+          f"never reset: {not sender.reset}")
+    print("\nThe application never reconnected — mobility stayed below TCP, "
+          "exactly as the paper promises.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Thin shim so editable installs work in offline environments
+(no `wheel` package available for PEP 517 builds)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""Reproduction of "Supporting Mobility in MosquitoNet" (USENIX 1996).
+
+Public API overview
+-------------------
+
+The package splits the way the paper does:
+
+* :mod:`repro.sim` — the deterministic discrete-event kernel.
+* :mod:`repro.net` — the substrate: links, interfaces, ARP, IP, ICMP,
+  UDP, TCP, DHCP, routers.
+* :mod:`repro.core` — the contribution: mobile host, home agent, VIF and
+  IP-in-IP tunneling, the Mobile Policy Table, handoff engines, plus the
+  foreign-agent baseline and the implemented extensions (smart
+  correspondents, authentication, auto-switching, notifications).
+* :mod:`repro.testbed` — the paper's Figure-5 environment, pre-wired.
+* :mod:`repro.workloads` — the measurement traffic.
+* :mod:`repro.experiments` — one harness per table/figure
+  (``python -m repro.experiments``).
+
+Sixty-second tour::
+
+    from repro.sim import Simulator, ms, s
+    from repro.testbed import build_testbed
+
+    sim = Simulator(seed=42)
+    tb = build_testbed(sim)
+    tb.visit_dept()          # the mobile host roams; connections survive
+    sim.run_for(s(5))
+    print(tb.home_agent.current_care_of(tb.addresses.mh_home))
+"""
+
+from repro.config import DEFAULT_CONFIG, Config
+
+__version__ = "1.0.0"
+
+__all__ = ["Config", "DEFAULT_CONFIG", "__version__"]

@@ -1,0 +1,112 @@
+"""Mobility bindings: the home agent's record of who is where.
+
+"It adds a *mobility binding* to an internal table to record the mobile
+host's care-of address and other information such as the lifetime of the
+registration and any authentication information." (Section 3.1)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.net.addressing import IPAddress
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class MobilityBinding:
+    """One registered mobile host."""
+
+    home_address: IPAddress
+    care_of_address: IPAddress
+    lifetime: int
+    registered_at: int
+    expires_at: int
+    identification: int = 0
+    #: Placeholder for the authentication data the paper says bindings
+    #: record; MosquitoNet (like this reproduction) does not yet verify it.
+    authenticator: Optional[bytes] = None
+
+    def is_active(self, now: int) -> bool:
+        """True while the binding's lifetime has not lapsed."""
+        return now < self.expires_at
+
+    def remaining(self, now: int) -> int:
+        """Nanoseconds of lifetime left at *now* (0 when expired)."""
+        return max(0, self.expires_at - now)
+
+
+class MobilityBindingTable:
+    """Home-agent binding table with lifetime expiry.
+
+    ``on_expire`` fires when a binding lapses without renewal, letting the
+    home agent tear down its proxy-ARP entry and tunnel route.
+    """
+
+    def __init__(self, sim: Simulator,
+                 on_expire: Optional[Callable[[MobilityBinding], None]] = None) -> None:
+        self._sim = sim
+        self._bindings: Dict[IPAddress, MobilityBinding] = {}
+        self._expiry_events: Dict[IPAddress, object] = {}
+        self.on_expire = on_expire
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __contains__(self, home_address: object) -> bool:
+        return isinstance(home_address, IPAddress) and self.get(home_address) is not None
+
+    def get(self, home_address: IPAddress) -> Optional[MobilityBinding]:
+        """The active binding for *home_address*, if any."""
+        binding = self._bindings.get(home_address)
+        if binding is None or not binding.is_active(self._sim.now):
+            return None
+        return binding
+
+    def all_active(self) -> List[MobilityBinding]:
+        """Every binding still within its lifetime."""
+        now = self._sim.now
+        return [binding for binding in self._bindings.values()
+                if binding.is_active(now)]
+
+    def register(self, home_address: IPAddress, care_of_address: IPAddress,
+                 lifetime: int, identification: int = 0,
+                 authenticator: Optional[bytes] = None) -> MobilityBinding:
+        """Insert or replace the binding for *home_address*."""
+        self._cancel_expiry(home_address)
+        now = self._sim.now
+        binding = MobilityBinding(home_address=home_address,
+                                  care_of_address=care_of_address,
+                                  lifetime=lifetime, registered_at=now,
+                                  expires_at=now + lifetime,
+                                  identification=identification,
+                                  authenticator=authenticator)
+        self._bindings[home_address] = binding
+        self._expiry_events[home_address] = self._sim.call_later(
+            lifetime, lambda: self._expire(home_address),
+            label=f"binding-expiry:{home_address}",
+        )
+        return binding
+
+    def deregister(self, home_address: IPAddress) -> Optional[MobilityBinding]:
+        """Remove the binding (mobile host returned home)."""
+        self._cancel_expiry(home_address)
+        return self._bindings.pop(home_address, None)
+
+    def _expire(self, home_address: IPAddress) -> None:
+        binding = self._bindings.get(home_address)
+        if binding is None or binding.is_active(self._sim.now):
+            return
+        del self._bindings[home_address]
+        self._expiry_events.pop(home_address, None)
+        self._sim.trace.emit("binding", "expired",
+                             home_address=str(home_address),
+                             care_of=str(binding.care_of_address))
+        if self.on_expire is not None:
+            self.on_expire(binding)
+
+    def _cancel_expiry(self, home_address: IPAddress) -> None:
+        event = self._expiry_events.pop(home_address, None)
+        if event is not None:
+            event.cancel()  # type: ignore[attr-defined]

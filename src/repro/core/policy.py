@@ -1,0 +1,155 @@
+"""The Mobile Policy Table (Section 3.3) and routing modes (Section 3.2).
+
+A mobile host away from home must make three decisions per packet:
+
+1. send directly or tunnel through the home agent,
+2. if direct, whether to encapsulate,
+3. use the home address or the local (care-of) address as source.
+
+The four consistent combinations are the paper's routing options, encoded
+here as :class:`RoutingMode`:
+
+===============  =========  ======  ==============  =======================
+mode             route      encap   source address  paper reference
+===============  =========  ======  ==============  =======================
+TUNNEL           via HA     yes     home            basic protocol (§3.1)
+TRIANGLE         direct     no      home            triangle route (§3.2)
+ENCAP_DIRECT     direct     yes     care-of outer   transit-filter variant
+LOCAL            direct     no      care-of         local role (§5.2)
+===============  =========  ======  ==============  =======================
+
+The table maps destination prefixes to modes, with a configurable default.
+"We do not yet update the table dynamically" says the paper of its own
+implementation, but describes the intended mechanism — cache a fallback to
+TUNNEL when a triangle-routed probe (ping) fails.  :meth:`record_probe_result`
+implements that intended behaviour; experiments exercise it against a
+transit-filtering router.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+from repro.net.addressing import IPAddress, Subnet
+
+
+class RoutingMode(enum.Enum):
+    """How the mobile host sends one packet (the three §3.2 decisions)."""
+
+    TUNNEL = "tunnel"              # via HA, encapsulated, home source
+    TRIANGLE = "triangle"          # direct, plain, home source
+    ENCAP_DIRECT = "encap-direct"  # direct, encapsulated, care-of outer
+    LOCAL = "local"                # direct, plain, care-of source
+
+    @property
+    def uses_home_source(self) -> bool:
+        """Whether packets carry the home address as source."""
+        return self in (RoutingMode.TUNNEL, RoutingMode.TRIANGLE,
+                        RoutingMode.ENCAP_DIRECT)
+
+    @property
+    def encapsulates(self) -> bool:
+        """Whether the mode wraps packets in IP-in-IP."""
+        return self in (RoutingMode.TUNNEL, RoutingMode.ENCAP_DIRECT)
+
+    @property
+    def via_home_agent(self) -> bool:
+        """Whether packets detour through the home agent."""
+        return self is RoutingMode.TUNNEL
+
+    @property
+    def preserves_mobility(self) -> bool:
+        """Whether correspondents keep seeing the home address."""
+        return self.uses_home_source
+
+
+@dataclass(frozen=True)
+class PolicyEntry:
+    """One row of the Mobile Policy Table."""
+
+    destination: Subnet
+    mode: RoutingMode
+    #: Where the entry came from: "static" (operator), "probe" (dynamic
+    #: fallback after a failed ping), "redirect", ...
+    origin: str = "static"
+
+
+class MobilePolicyTable:
+    """Longest-prefix policy lookup, separate from the routing table.
+
+    "To keep the implementation simple, we have separated out routing
+    decisions and mobility decisions.  This allows us to leave the routing
+    tables unchanged and merely add our Mobile Policy Table for IP's use."
+    """
+
+    def __init__(self, default_mode: RoutingMode = RoutingMode.TUNNEL) -> None:
+        self.default_mode = default_mode
+        self._entries: List[PolicyEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def set_policy(self, destination: Union[Subnet, IPAddress],
+                   mode: RoutingMode, origin: str = "static") -> PolicyEntry:
+        """Install (or replace) the policy for a prefix or single host."""
+        prefix = destination if isinstance(destination, Subnet) \
+            else Subnet(destination, 32)
+        self._entries = [entry for entry in self._entries
+                         if entry.destination != prefix]
+        entry = PolicyEntry(destination=prefix, mode=mode, origin=origin)
+        self._entries.append(entry)
+        return entry
+
+    def clear_policy(self, destination: Union[Subnet, IPAddress]) -> None:
+        """Remove the entry for a prefix or host, if present."""
+        prefix = destination if isinstance(destination, Subnet) \
+            else Subnet(destination, 32)
+        self._entries = [entry for entry in self._entries
+                         if entry.destination != prefix]
+
+    def lookup_entry(self, dst: IPAddress) -> Optional[PolicyEntry]:
+        """The most specific entry covering *dst*, if any."""
+        best: Optional[PolicyEntry] = None
+        for entry in self._entries:
+            if dst not in entry.destination:
+                continue
+            if best is None or entry.destination.prefix_len > best.destination.prefix_len:
+                best = entry
+        return best
+
+    def lookup(self, dst: IPAddress) -> RoutingMode:
+        """The routing mode for *dst* (default when no entry matches)."""
+        entry = self.lookup_entry(dst)
+        return entry.mode if entry is not None else self.default_mode
+
+    # --------------------------------------------------------- dynamic updates
+
+    def record_probe_result(self, dst: IPAddress, reachable: bool) -> None:
+        """Cache the outcome of a reachability probe for *dst*.
+
+        A failed probe under a direct mode means the foreign network drops
+        transit traffic: fall back to the always-working tunnel, per-host.
+        A successful probe removes a previous dynamic fallback.
+        """
+        entry = self.lookup_entry(dst)
+        if not reachable:
+            self.set_policy(dst, RoutingMode.TUNNEL, origin="probe")
+            return
+        if entry is not None and entry.origin == "probe" \
+                and entry.destination == Subnet(dst, 32):
+            self.clear_policy(dst)
+
+    def describe(self) -> str:
+        """Dump for examples/debugging, one entry per line."""
+        lines = [f"default: {self.default_mode.value}"]
+        for entry in sorted(self._entries,
+                            key=lambda e: (-e.destination.prefix_len,
+                                           e.destination.network.value)):
+            lines.append(f"{entry.destination} -> {entry.mode.value} "
+                         f"({entry.origin})")
+        return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Experiment harnesses: one module per measured figure/experiment.
+
+* :mod:`repro.experiments.exp_registration` — Figure 7 (registration
+  time-line, per-stage breakdown).
+* :mod:`repro.experiments.exp_same_subnet` — the Section 4 same-subnet
+  address switch (20 iterations, UDP every 10 ms).
+* :mod:`repro.experiments.exp_device_switch` — Figure 6 (cold/hot device
+  switching, packet-loss histograms, UDP every 250 ms).
+* :mod:`repro.experiments.exp_routing_options` — the Section 3.2 routing
+  options ablation (triangle route et al., plus the transit-filter
+  fallback).
+* :mod:`repro.experiments.exp_fa_ablation` — Section 5.1's foreign-agent
+  packet-loss comparison.
+
+Extension experiments (features the paper names but defers):
+
+* :mod:`repro.experiments.exp_smart_correspondent` — reverse-path routing
+  via smart correspondent hosts (Section 3.2 / 5.1).
+* :mod:`repro.experiments.exp_ha_scalability` — the "large number of
+  mobile hosts simultaneously" claim, quantified (Section 4).
+* :mod:`repro.experiments.exp_autoswitch` — probe-cadence ablation for the
+  automatic network selector (Section 6).
+
+``python -m repro.experiments`` runs everything and prints paper-style
+reports.
+"""
+
+from repro.experiments.exp_device_switch import (
+    DeviceSwitchReport,
+    run_device_switch_experiment,
+)
+from repro.experiments.exp_fa_ablation import FAAblationReport, run_fa_ablation
+from repro.experiments.exp_registration import (
+    RegistrationReport,
+    run_registration_experiment,
+)
+from repro.experiments.exp_routing_options import (
+    RoutingOptionsReport,
+    run_routing_options_experiment,
+)
+from repro.experiments.exp_same_subnet import (
+    SameSubnetReport,
+    run_same_subnet_experiment,
+)
+from repro.experiments.exp_autoswitch import (
+    AutoswitchReport,
+    run_autoswitch_experiment,
+)
+from repro.experiments.exp_ha_scalability import (
+    HAScalabilityReport,
+    run_ha_scalability_experiment,
+)
+from repro.experiments.exp_smart_correspondent import (
+    SmartCorrespondentReport,
+    run_smart_correspondent_experiment,
+)
+
+__all__ = [
+    "run_registration_experiment",
+    "RegistrationReport",
+    "run_same_subnet_experiment",
+    "SameSubnetReport",
+    "run_device_switch_experiment",
+    "DeviceSwitchReport",
+    "run_routing_options_experiment",
+    "RoutingOptionsReport",
+    "run_fa_ablation",
+    "FAAblationReport",
+    "run_smart_correspondent_experiment",
+    "SmartCorrespondentReport",
+    "run_ha_scalability_experiment",
+    "HAScalabilityReport",
+    "run_autoswitch_experiment",
+    "AutoswitchReport",
+]

@@ -1,0 +1,73 @@
+"""Run every experiment and print paper-style reports.
+
+Usage::
+
+    python -m repro.experiments            # everything
+    python -m repro.experiments f6 f7      # just those experiments
+    python -m repro.experiments --figures  # ASCII renderings of fig. 6 & 7
+
+Experiment ids: ``e1`` (same-subnet switch), ``f6`` (device switching),
+``f7`` (registration time-line), ``f3`` (routing options), ``a1``
+(foreign-agent ablation), ``x1``-``x3`` (extensions).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.exp_autoswitch import run_autoswitch_experiment
+from repro.experiments.exp_device_switch import run_device_switch_experiment
+from repro.experiments.exp_fa_ablation import run_fa_ablation
+from repro.experiments.exp_ha_scalability import run_ha_scalability_experiment
+from repro.experiments.exp_registration import run_registration_experiment
+from repro.experiments.exp_routing_options import run_routing_options_experiment
+from repro.experiments.exp_same_subnet import run_same_subnet_experiment
+from repro.experiments.exp_smart_correspondent import (
+    run_smart_correspondent_experiment,
+)
+
+RUNNERS = {
+    "e1": ("Same-subnet address switch (Section 4)",
+           lambda: run_same_subnet_experiment().format_report()),
+    "f6": ("Device switching overhead (Figure 6)",
+           lambda: run_device_switch_experiment().format_report()),
+    "f7": ("Registration time-line (Figure 7)",
+           lambda: run_registration_experiment().format_report()),
+    "f3": ("Routing options (Section 3.2 / Figure 3)",
+           lambda: run_routing_options_experiment().format_report()),
+    "a1": ("Foreign-agent ablation (Section 5.1)",
+           lambda: run_fa_ablation().format_report()),
+    "x1": ("Smart correspondents: reverse-path routing (extension)",
+           lambda: run_smart_correspondent_experiment().format_report()),
+    "x2": ("Home-agent scalability (Section 4's claim, extension)",
+           lambda: run_ha_scalability_experiment().format_report()),
+    "x3": ("Auto-switch probe cadence ablation (Section 6, extension)",
+           lambda: run_autoswitch_experiment().format_report()),
+}
+
+
+def main(argv: list) -> int:
+    if "--figures" in argv:
+        from repro.experiments.figures import render_figure6, render_figure7
+
+        print(render_figure7(run_registration_experiment()))
+        print()
+        print(render_figure6(run_device_switch_experiment()))
+        return 0
+    requested = [arg.lower() for arg in argv] or list(RUNNERS)
+    unknown = [name for name in requested if name not in RUNNERS]
+    if unknown:
+        print(f"unknown experiment ids: {', '.join(unknown)}; "
+              f"valid: {', '.join(RUNNERS)}", file=sys.stderr)
+        return 2
+    for name in requested:
+        title, runner = RUNNERS[name]
+        banner = f"=== {name}: {title} ==="
+        print(banner)
+        print(runner())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,110 @@
+"""Home-agent scalability: testing the paper's closing performance claim.
+
+"The data shows that the software overhead in the registration process is
+small, and the home agent should be able to deal with a large number of
+mobile hosts simultaneously." (Section 4.)
+
+This experiment makes that claim quantitative: N mobile hosts, all homed
+on net 36.135 and all visiting net 36.8, fire their registrations at the
+same instant.  The home agent serializes processing (one CPU), so the
+question is how registration latency degrades with N — linearly in the
+~1.5 ms per-request processing cost, which stays comfortably under a
+typical binding lifetime even for hundreds of hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.config import Config, DEFAULT_CONFIG
+from repro.core.mobile_host import MobileHost
+from repro.core.registration import RegistrationOutcome
+from repro.experiments.harness import Stats, format_table, summarize_ms
+from repro.net.interface import EthernetInterface, InterfaceState
+from repro.sim.engine import Simulator
+from repro.sim.units import ms, s
+from repro.testbed import build_testbed
+
+DEFAULT_FLEET_SIZES = (1, 5, 10, 25, 50)
+
+
+@dataclass
+class FleetResult:
+    fleet_size: int
+    accepted: int
+    latency: Stats
+
+
+@dataclass
+class HAScalabilityReport:
+    results: List[FleetResult] = field(default_factory=list)
+
+    def format_report(self) -> str:
+        """Render the latency-vs-fleet-size table."""
+        rows = [(result.fleet_size, result.accepted,
+                 result.latency.format_ms(),
+                 f"{result.latency.maximum:.2f}")
+                for result in self.results]
+        table = format_table(("mobile hosts", "accepted",
+                              "reg latency ms: mean (std)", "max ms"), rows)
+        return ("Home-agent scalability: simultaneous registrations "
+                "(Section 4's closing claim)\n" + table)
+
+
+def _run_fleet(fleet_size: int, seed: int, config: Config) -> FleetResult:
+    sim = Simulator(seed=seed)
+    testbed = build_testbed(sim, config, with_remote_correspondent=False,
+                            with_dhcp=False)
+    addresses = testbed.addresses
+    agent = testbed.home_agent
+
+    fleet: List[MobileHost] = []
+    for index in range(fleet_size):
+        home = addresses.home_net.host(100 + index)
+        mobile = MobileHost(sim, f"mh{index}", home_address=home,
+                            home_subnet=addresses.home_net,
+                            home_agent=agent.address, config=config)
+        iface = EthernetInterface(sim, f"eth0.mh{index}",
+                                  testbed.macs.allocate(), config)
+        mobile.add_interface(iface)
+        iface.attach(testbed.dept_segment)
+        iface.state = InterfaceState.UP
+        mobile.home_interface = iface
+        agent.serve(home)
+        care_of = addresses.dept_net.host(100 + index)
+        mobile.start_visiting(iface, care_of, addresses.dept_net,
+                              addresses.router_dept, register=False)
+        fleet.append(mobile)
+
+    outcomes: Dict[int, RegistrationOutcome] = {}
+
+    def fire(index: int) -> None:
+        fleet[index].register_current(
+            on_registered=lambda outcome, index=index:
+            outcomes.__setitem__(index, outcome))
+
+    # Everyone registers at the same instant.
+    for index in range(fleet_size):
+        sim.call_at(ms(100), lambda index=index: fire(index))
+    sim.run_for(s(30))
+
+    latencies = [outcome.round_trip for outcome in outcomes.values()
+                 if outcome.accepted]
+    return FleetResult(fleet_size=fleet_size,
+                       accepted=len(latencies),
+                       latency=summarize_ms(latencies))
+
+
+def run_ha_scalability_experiment(fleet_sizes=DEFAULT_FLEET_SIZES,
+                                  seed: int = 83,
+                                  config: Config = DEFAULT_CONFIG
+                                  ) -> HAScalabilityReport:
+    report = HAScalabilityReport()
+    for index, fleet_size in enumerate(fleet_sizes):
+        report.results.append(_run_fleet(fleet_size, seed + index, config))
+    return report
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run_ha_scalability_experiment().format_report())

@@ -1,0 +1,116 @@
+"""Shared experiment machinery: statistics, tables, serialization."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Sequence
+
+
+@dataclass(frozen=True)
+class Stats:
+    """Mean/std summary of one measured quantity."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+
+    def format_ms(self, precision: int = 2) -> str:
+        """Render as the paper does: ``mean (std)`` in milliseconds."""
+        return f"{self.mean:.{precision}f} ({self.std:.{precision}f})"
+
+
+def summarize(values: Sequence[float]) -> Stats:
+    """Mean and *sample* standard deviation of *values*."""
+    if not values:
+        return Stats(count=0, mean=0.0, std=0.0, minimum=0.0, maximum=0.0)
+    count = len(values)
+    mean = sum(values) / count
+    if count > 1:
+        variance = sum((value - mean) ** 2 for value in values) / (count - 1)
+    else:
+        variance = 0.0
+    return Stats(count=count, mean=mean, std=math.sqrt(variance),
+                 minimum=min(values), maximum=max(values))
+
+
+def summarize_ms(values_ns: Sequence[int]) -> Stats:
+    """Summarize nanosecond samples in milliseconds."""
+    return summarize([value / 1_000_000 for value in values_ns])
+
+
+def histogram(values: Iterable[int]) -> Dict[int, int]:
+    """Count occurrences of each integer value (Figure 6's bar heights)."""
+    counts: Dict[int, int] = {}
+    for value in values:
+        counts[value] = counts.get(value, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def format_histogram(counts: Dict[int, int], unit: str = "packets lost") -> str:
+    """ASCII rendering of a loss histogram, one bar per value."""
+    if not counts:
+        return "(no data)"
+    lines = []
+    for value in sorted(counts):
+        bar = "#" * counts[value]
+        lines.append(f"  {value:>3} {unit}: {bar} ({counts[value]})")
+    return "\n".join(lines)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Left-aligned plain-text table."""
+    cells = [[str(header) for header in headers]]
+    cells.extend([str(value) for value in row] for row in rows)
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+    out: List[str] = []
+    for index, row in enumerate(cells):
+        line = "  ".join(value.ljust(width) for value, width in zip(row, widths))
+        out.append(line.rstrip())
+        if index == 0:
+            out.append("  ".join("-" * width for width in widths))
+    return "\n".join(out)
+
+
+def as_plain_data(value: Any) -> Any:
+    """Convert any experiment report to JSON-ready plain data.
+
+    Dataclasses become dicts, enums become their values, dict keys are
+    stringified when they are not already plain.  Lets downstream tooling
+    (plots, CSV, regression tracking) consume every report uniformly:
+
+    >>> import json
+    >>> json.dumps(as_plain_data(report))  # doctest: +SKIP
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: as_plain_data(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {
+            (key if isinstance(key, (str, int, float, bool)) or key is None
+             else (key.value if isinstance(key, enum.Enum) else str(key))):
+            as_plain_data(item)
+            for key, item in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [as_plain_data(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def spread_phases(iterations: int, interval_ns: int, base_ns: int) -> List[int]:
+    """Evenly spread switch times across one probe interval.
+
+    The same-subnet experiment's loss count depends on where the switch
+    lands relative to the 10 ms probe ticks; spreading start phases across
+    the interval samples that uniformly (and deterministically).
+    """
+    return [base_ns + (index * interval_ns) // iterations
+            for index in range(iterations)]

@@ -1,0 +1,74 @@
+"""The network substrate: everything below the mobile-IP layer.
+
+This package is a from-scratch, protocol-faithful model of the pieces of a
+1996 Linux network stack that MosquitoNet touches: IPv4 addressing and
+routing, ARP (including proxy and gratuitous ARP), Ethernet segments, serial
+lines and Metricom-style radio channels, interface/device state machines
+with realistic bring-up costs, ICMP, UDP, a simplified TCP, and DHCP.
+
+The mobile-IP layer in :mod:`repro.core` plugs into exactly the same three
+extension points the paper used in the kernel: the route-lookup function
+(``ip_rt_route``), an extra policy table, and a virtual encapsulating
+interface.
+"""
+
+from repro.net.addressing import (
+    BROADCAST_MAC,
+    UNSPECIFIED,
+    IPAddress,
+    MACAddress,
+    Subnet,
+    ip,
+    subnet,
+)
+from repro.net.packet import (
+    PROTO_ICMP,
+    PROTO_IPIP,
+    PROTO_TCP,
+    PROTO_UDP,
+    AppData,
+    IPPacket,
+    UDPDatagram,
+)
+from repro.net.routing import RouteEntry, RouteResult, RoutingTable
+from repro.net.host import Host
+from repro.net.router import Router
+from repro.net.link import EthernetSegment, PointToPointLink, RadioChannel
+from repro.net.interface import (
+    EthernetInterface,
+    LoopbackInterface,
+    NetworkInterface,
+    RadioInterface,
+)
+from repro.net.dhcp import DHCPClient, DHCPServer
+
+__all__ = [
+    "IPAddress",
+    "MACAddress",
+    "Subnet",
+    "ip",
+    "subnet",
+    "UNSPECIFIED",
+    "BROADCAST_MAC",
+    "IPPacket",
+    "UDPDatagram",
+    "AppData",
+    "PROTO_ICMP",
+    "PROTO_IPIP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "RoutingTable",
+    "RouteEntry",
+    "RouteResult",
+    "Host",
+    "Router",
+    "EthernetSegment",
+    "PointToPointLink",
+    "RadioChannel",
+    "NetworkInterface",
+    "EthernetInterface",
+    "LoopbackInterface",
+    "RadioInterface",
+    "DHCPClient",
+    "DHCPServer",
+]

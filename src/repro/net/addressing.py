@@ -1,0 +1,217 @@
+"""IPv4 and link-layer addressing.
+
+Addresses are small frozen value types usable as dict keys.  The testbed
+reuses the paper's actual numbering: Stanford's class-B net 36, subnetted as
+36.135 (home), 36.8 (CS department) and 36.134 (wireless).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+from typing import Iterator, Union
+
+
+class AddressError(ValueError):
+    """Raised for malformed addresses or prefixes."""
+
+
+@total_ordering
+@dataclass(frozen=True)
+class IPAddress:
+    """An IPv4 address stored as a 32-bit unsigned integer."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= 0xFFFFFFFF:
+            raise AddressError(f"IPv4 address out of range: {self.value:#x}")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPAddress":
+        """Parse dotted-quad notation, e.g. ``"36.135.0.10"``."""
+        parts = text.strip().split(".")
+        if len(parts) != 4:
+            raise AddressError(f"not a dotted quad: {text!r}")
+        value = 0
+        for part in parts:
+            if not part.isdigit():
+                raise AddressError(f"bad octet {part!r} in {text!r}")
+            octet = int(part)
+            if octet > 255:
+                raise AddressError(f"octet out of range in {text!r}")
+            value = (value << 8) | octet
+        return cls(value)
+
+    @property
+    def is_unspecified(self) -> bool:
+        """True for 0.0.0.0, the "let the stack choose" source address."""
+        return self.value == 0
+
+    @property
+    def is_limited_broadcast(self) -> bool:
+        """True for 255.255.255.255."""
+        return self.value == 0xFFFFFFFF
+
+    @property
+    def is_loopback(self) -> bool:
+        """True for 127.0.0.0/8."""
+        return (self.value >> 24) == 127
+
+    @property
+    def is_multicast(self) -> bool:
+        """True for 224.0.0.0/4."""
+        return (self.value >> 28) == 0xE
+
+    def __str__(self) -> str:
+        return ".".join(str((self.value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+    def __repr__(self) -> str:
+        return f"IPAddress({str(self)!r})"
+
+    def __lt__(self, other: "IPAddress") -> bool:
+        if not isinstance(other, IPAddress):
+            return NotImplemented
+        return self.value < other.value
+
+
+#: The unspecified ("any" / "let the stack choose") source address.
+UNSPECIFIED = IPAddress(0)
+#: The limited broadcast destination.
+LIMITED_BROADCAST = IPAddress(0xFFFFFFFF)
+
+
+def ip(text: Union[str, IPAddress]) -> IPAddress:
+    """Coerce a dotted quad or :class:`IPAddress` to an :class:`IPAddress`."""
+    if isinstance(text, IPAddress):
+        return text
+    return IPAddress.parse(text)
+
+
+@dataclass(frozen=True)
+class Subnet:
+    """An IPv4 prefix (network address + prefix length)."""
+
+    network: IPAddress
+    prefix_len: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.prefix_len <= 32:
+            raise AddressError(f"bad prefix length {self.prefix_len}")
+        if self.network.value & ~self._mask():
+            raise AddressError(
+                f"{self.network}/{self.prefix_len} has host bits set"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Subnet":
+        """Parse CIDR notation, e.g. ``"36.135.0.0/24"``."""
+        if "/" not in text:
+            raise AddressError(f"missing prefix length: {text!r}")
+        addr_text, _, len_text = text.partition("/")
+        if not len_text.isdigit():
+            raise AddressError(f"bad prefix length in {text!r}")
+        return cls(IPAddress.parse(addr_text), int(len_text))
+
+    def _mask(self) -> int:
+        if self.prefix_len == 0:
+            return 0
+        return (0xFFFFFFFF << (32 - self.prefix_len)) & 0xFFFFFFFF
+
+    @property
+    def netmask(self) -> IPAddress:
+        """The prefix as a dotted-quad mask."""
+        return IPAddress(self._mask())
+
+    @property
+    def broadcast(self) -> IPAddress:
+        """The directed broadcast address of this subnet."""
+        return IPAddress(self.network.value | (~self._mask() & 0xFFFFFFFF))
+
+    def __contains__(self, addr: object) -> bool:
+        if not isinstance(addr, IPAddress):
+            return False
+        return (addr.value & self._mask()) == self.network.value
+
+    def host(self, index: int) -> IPAddress:
+        """The *index*-th host address within the subnet (1-based)."""
+        candidate = IPAddress(self.network.value + index)
+        if candidate not in self or candidate == self.broadcast:
+            raise AddressError(f"host index {index} outside {self}")
+        return candidate
+
+    def hosts(self) -> Iterator[IPAddress]:
+        """Iterate over usable host addresses (network/broadcast excluded)."""
+        for value in range(self.network.value + 1, self.broadcast.value):
+            yield IPAddress(value)
+
+    def __str__(self) -> str:
+        return f"{self.network}/{self.prefix_len}"
+
+    def __repr__(self) -> str:
+        return f"Subnet({str(self)!r})"
+
+
+def subnet(text: Union[str, Subnet]) -> Subnet:
+    """Coerce CIDR text or :class:`Subnet` to a :class:`Subnet`."""
+    if isinstance(text, Subnet):
+        return text
+    return Subnet.parse(text)
+
+
+@dataclass(frozen=True)
+class MACAddress:
+    """A 48-bit link-layer address."""
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= 0xFFFFFFFFFFFF:
+            raise AddressError(f"MAC address out of range: {self.value:#x}")
+
+    @classmethod
+    def parse(cls, text: str) -> "MACAddress":
+        """Parse colon-separated hex, e.g. ``"02:00:00:00:00:01"``."""
+        parts = text.strip().split(":")
+        if len(parts) != 6:
+            raise AddressError(f"not a MAC address: {text!r}")
+        value = 0
+        for part in parts:
+            try:
+                byte = int(part, 16)
+            except ValueError as exc:
+                raise AddressError(f"bad byte in {text!r}") from exc
+            if byte > 255:
+                raise AddressError(f"bad byte in {text!r}")
+            value = (value << 8) | byte
+        return cls(value)
+
+    @property
+    def is_broadcast(self) -> bool:
+        """True for ff:ff:ff:ff:ff:ff."""
+        return self.value == 0xFFFFFFFFFFFF
+
+    def __str__(self) -> str:
+        return ":".join(
+            f"{(self.value >> shift) & 0xFF:02x}" for shift in (40, 32, 24, 16, 8, 0)
+        )
+
+    def __repr__(self) -> str:
+        return f"MACAddress({str(self)!r})"
+
+
+#: The Ethernet broadcast address.
+BROADCAST_MAC = MACAddress(0xFFFFFFFFFFFF)
+
+
+class MACAllocator:
+    """Hands out locally administered, globally unique-in-sim MACs."""
+
+    def __init__(self) -> None:
+        self._next = 1
+
+    def allocate(self) -> MACAddress:
+        """Next locally administered, simulation-unique MAC."""
+        value = (0x02 << 40) | self._next
+        self._next += 1
+        return MACAddress(value)

@@ -1,0 +1,247 @@
+"""ARP: address resolution, proxy ARP and gratuitous ARP.
+
+ARP is load-bearing in MosquitoNet.  The home agent intercepts packets for
+an away-from-home mobile host by becoming its **proxy ARP** entry ("adding
+an ARP entry in the home agent's own ARP cache") and broadcasts a
+**gratuitous ARP** "to void any stale ARP cache entries on hosts in the same
+subnet as the mobile host's home" (Section 3.1).  When the mobile host
+returns, the proxy entry is withdrawn and the mobile host re-announces
+itself with its own gratuitous ARP.
+
+Each Ethernet interface owns one :class:`ARPService`; the service resolves
+next-hop IPs to MACs, queues packets while resolution is in flight, and
+answers requests both for the interface's own addresses and for any
+published proxy entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.net.addressing import BROADCAST_MAC, IPAddress, MACAddress
+from repro.net.packet import IPPacket
+
+if TYPE_CHECKING:  # pragma: no cover - circular import guard
+    from repro.net.interface import EthernetInterface
+
+#: ARP operation codes.
+OP_REQUEST = 1
+OP_REPLY = 2
+
+#: Wire size of an ARP message for IPv4-over-Ethernet.
+ARP_MESSAGE_BYTES = 28
+
+
+@dataclass(frozen=True)
+class ARPMessage:
+    """An ARP request or reply."""
+
+    op: int
+    sender_ip: IPAddress
+    sender_mac: MACAddress
+    target_ip: IPAddress
+    target_mac: Optional[MACAddress] = None
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size (fixed for IPv4-over-Ethernet ARP)."""
+        return ARP_MESSAGE_BYTES
+
+    @property
+    def is_gratuitous(self) -> bool:
+        """A gratuitous ARP announces ``sender_ip`` by targeting itself."""
+        return self.sender_ip == self.target_ip
+
+
+@dataclass
+class _CacheEntry:
+    mac: MACAddress
+    expires_at: int
+
+
+@dataclass
+class _PendingResolution:
+    packets: List[Tuple[IPPacket, Callable[[], None]]]
+    attempts: int
+    retry_event: object
+
+
+class ARPService:
+    """Per-interface ARP machinery (cache, resolution, proxy, gratuitous)."""
+
+    def __init__(self, interface: "EthernetInterface") -> None:
+        self._iface = interface
+        self._cache: Dict[IPAddress, _CacheEntry] = {}
+        #: Addresses we answer requests for on behalf of someone else.
+        self._proxy_for: Set[IPAddress] = set()
+        self._pending: Dict[IPAddress, _PendingResolution] = {}
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def _sim(self):
+        return self._iface.sim
+
+    @property
+    def _cfg(self):
+        return self._iface.config
+
+    def lookup(self, addr: IPAddress) -> Optional[MACAddress]:
+        """Return the cached MAC for *addr* if fresh, else None."""
+        entry = self._cache.get(addr)
+        if entry is None:
+            return None
+        if entry.expires_at <= self._sim.now:
+            del self._cache[addr]
+            return None
+        return entry.mac
+
+    def proxy_entries(self) -> Set[IPAddress]:
+        """Addresses currently proxied (exposed for tests/monitoring)."""
+        return set(self._proxy_for)
+
+    # ----------------------------------------------------------- cache edits
+
+    def learn(self, addr: IPAddress, mac: MACAddress, create: bool = True) -> None:
+        """Install or refresh a cache entry.
+
+        ``create=False`` is the gratuitous-ARP rule: only update entries
+        that already exist, never create new ones.
+        """
+        if not create and addr not in self._cache:
+            return
+        self._cache[addr] = _CacheEntry(mac=mac, expires_at=self._sim.now + self._cfg.arp_timeout)
+        self._release_pending(addr, mac)
+
+    def flush(self, addr: Optional[IPAddress] = None) -> None:
+        """Drop one entry, or the whole cache when *addr* is None."""
+        if addr is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(addr, None)
+
+    # ------------------------------------------------------------- proxy ARP
+
+    def add_proxy(self, addr: IPAddress) -> None:
+        """Start answering ARP requests for *addr* (home-agent intercept)."""
+        self._proxy_for.add(addr)
+        self._sim.trace.emit("arp", "proxy_added", interface=self._iface.name,
+                             address=str(addr))
+
+    def remove_proxy(self, addr: IPAddress) -> None:
+        """Stop answering for *addr* (mobile host returned home)."""
+        self._proxy_for.discard(addr)
+        self._sim.trace.emit("arp", "proxy_removed", interface=self._iface.name,
+                             address=str(addr))
+
+    # ------------------------------------------------------------ resolution
+
+    def resolve_and_send(self, packet: IPPacket, next_hop: IPAddress,
+                         on_drop: Optional[Callable[[], None]] = None) -> None:
+        """Send *packet* to *next_hop*, resolving its MAC first if needed.
+
+        Packets queue while a resolution is outstanding; if resolution fails
+        after the configured attempts, queued packets are dropped (and
+        *on_drop* fires so callers can count the loss).
+        """
+        mac = self.lookup(next_hop)
+        if mac is not None:
+            self._iface.transmit_ip_frame(packet, mac)
+            return
+        drop_cb = on_drop if on_drop is not None else _noop
+        pending = self._pending.get(next_hop)
+        if pending is not None:
+            pending.packets.append((packet, drop_cb))
+            return
+        pending = _PendingResolution(packets=[(packet, drop_cb)], attempts=0,
+                                     retry_event=None)
+        self._pending[next_hop] = pending
+        self._send_request(next_hop, pending)
+
+    def _send_request(self, target: IPAddress, pending: _PendingResolution) -> None:
+        pending.attempts += 1
+        sender_ip = self._iface.address if self._iface.address is not None else IPAddress(0)
+        request = ARPMessage(op=OP_REQUEST, sender_ip=sender_ip,
+                             sender_mac=self._iface.mac, target_ip=target)
+        self._sim.trace.emit("arp", "request", interface=self._iface.name,
+                             target=str(target), attempt=pending.attempts)
+        self._iface.transmit_arp(request, BROADCAST_MAC)
+        pending.retry_event = self._sim.call_later(
+            self._cfg.arp_retry_interval,
+            lambda: self._retry(target),
+            label=f"arp-retry:{target}",
+        )
+
+    def _retry(self, target: IPAddress) -> None:
+        pending = self._pending.get(target)
+        if pending is None:
+            return
+        if pending.attempts >= self._cfg.arp_max_attempts:
+            del self._pending[target]
+            self._sim.trace.emit("arp", "failed", interface=self._iface.name,
+                                 target=str(target), dropped=len(pending.packets))
+            for _packet, drop_cb in pending.packets:
+                drop_cb()
+            return
+        self._send_request(target, pending)
+
+    def _release_pending(self, addr: IPAddress, mac: MACAddress) -> None:
+        pending = self._pending.pop(addr, None)
+        if pending is None:
+            return
+        if pending.retry_event is not None:
+            pending.retry_event.cancel()  # type: ignore[attr-defined]
+        for packet, _drop_cb in pending.packets:
+            self._iface.transmit_ip_frame(packet, mac)
+
+    # ------------------------------------------------------------ gratuitous
+
+    def send_gratuitous(self, addr: IPAddress) -> None:
+        """Broadcast a gratuitous ARP announcing *addr* at our MAC."""
+        message = ARPMessage(op=OP_REQUEST, sender_ip=addr,
+                             sender_mac=self._iface.mac, target_ip=addr)
+        self._sim.trace.emit("arp", "gratuitous", interface=self._iface.name,
+                             address=str(addr))
+        self._iface.transmit_arp(message, BROADCAST_MAC)
+
+    def send_probe(self, addr: IPAddress) -> None:
+        """Broadcast an address probe (RFC 5227 style): a request for
+        *addr* with the unspecified sender, used for duplicate-address
+        detection before adopting a DHCP lease.  An owner's reply lands in
+        our cache, where the prober checks for it."""
+        probe = ARPMessage(op=OP_REQUEST, sender_ip=IPAddress(0),
+                           sender_mac=self._iface.mac, target_ip=addr)
+        self._sim.trace.emit("arp", "probe", interface=self._iface.name,
+                             address=str(addr))
+        self._iface.transmit_arp(probe, BROADCAST_MAC)
+
+    # --------------------------------------------------------------- receive
+
+    def handle(self, message: ARPMessage) -> None:
+        """Process a received ARP message."""
+        if message.is_gratuitous:
+            # Gratuitous ARP only voids/updates stale entries; it never
+            # creates one (Section 3.1's "void any stale ARP cache entries").
+            self.learn(message.sender_ip, message.sender_mac, create=False)
+            return
+        # Opportunistically learn the sender (standard ARP behaviour).
+        if not message.sender_ip.is_unspecified:
+            self.learn(message.sender_ip, message.sender_mac)
+        if message.op != OP_REQUEST:
+            return
+        if self._answers_for(message.target_ip):
+            reply = ARPMessage(op=OP_REPLY, sender_ip=message.target_ip,
+                               sender_mac=self._iface.mac,
+                               target_ip=message.sender_ip,
+                               target_mac=message.sender_mac)
+            self._iface.transmit_arp(reply, message.sender_mac)
+
+    def _answers_for(self, addr: IPAddress) -> bool:
+        if addr in self._proxy_for:
+            return True
+        return self._iface.owns_address(addr)
+
+
+def _noop() -> None:
+    return None

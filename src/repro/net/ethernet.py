@@ -1,0 +1,45 @@
+"""Ethernet framing.
+
+Frames carry either an IPv4 packet or an ARP message across an
+:class:`~repro.net.link.EthernetSegment`.  The 18-byte frame overhead
+(header + FCS) is charged against the link's serialization rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.net.addressing import MACAddress
+from repro.net.arp import ARPMessage
+from repro.net.packet import IPPacket
+
+#: EtherType values.
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+
+#: Header (14) + frame check sequence (4).
+FRAME_OVERHEAD_BYTES = 18
+#: Minimum Ethernet payload; short payloads are padded on the wire.
+MIN_PAYLOAD_BYTES = 46
+
+
+@dataclass(frozen=True)
+class EthernetFrame:
+    """One frame on an Ethernet segment."""
+
+    src: MACAddress
+    dst: MACAddress
+    ethertype: int
+    payload: Union[IPPacket, ARPMessage]
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size including header, FCS and padding."""
+        payload_size = max(self.payload.size_bytes, MIN_PAYLOAD_BYTES)
+        return FRAME_OVERHEAD_BYTES + payload_size
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        kind = "IPv4" if self.ethertype == ETHERTYPE_IPV4 else "ARP"
+        return f"[{self.src} -> {self.dst} {kind} {self.size_bytes}B]"

@@ -1,0 +1,422 @@
+"""Network interfaces and their device state machines.
+
+Figure 6's headline is that cold switching loses packets "due to bringing up
+the new interface", so interfaces here are real state machines — DOWN,
+STARTING, UP, STOPPING — whose transitions take the calibrated times in
+:class:`repro.config.DeviceTimings` (plus jitter).  While an interface is
+not UP it neither sends nor receives; every packet that hits it is counted
+and traced so the experiment harnesses can attribute loss.
+
+Interfaces can hold several IPv4 addresses at once (Linux IP aliases).  The
+same-subnet switch experiment relies on this: the new care-of address is
+added first and the old one removed later, which is what bounds the loss
+window to well under the total 7.39 ms switch time.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from repro.config import Config, DeviceTimings
+from repro.net.addressing import IPAddress, MACAddress, Subnet
+from repro.net.arp import ARPMessage, ARPService
+from repro.net.packet import IPPacket
+from repro.sim.engine import Simulator
+from repro.sim.randomness import jittered
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+    from repro.net.link import EthernetSegment, PointToPointLink, RadioChannel
+
+
+class InterfaceState(enum.Enum):
+    """Device operational state."""
+
+    DOWN = "down"
+    STARTING = "starting"
+    UP = "up"
+    STOPPING = "stopping"
+
+
+class InterfaceError(RuntimeError):
+    """Raised on invalid interface operations (e.g. send while detached)."""
+
+
+Callback = Optional[Callable[[], None]]
+
+
+class NetworkInterface:
+    """Base class: state machine, address list, statistics."""
+
+    def __init__(self, sim: Simulator, name: str, device: DeviceTimings,
+                 config: Config) -> None:
+        self.sim = sim
+        self.name = name
+        self.device = device
+        self.config = config
+        self.host: Optional["Host"] = None
+        self.state = InterfaceState.DOWN
+        self._addresses: List[IPAddress] = []
+        self.subnet: Optional[Subnet] = None
+        self._rng = sim.rng(f"device:{name}")
+        # Statistics: the loss-accounting backbone of the experiments.
+        self.tx_packets = 0
+        self.rx_packets = 0
+        self.dropped_down = 0
+        self.dropped_no_route = 0
+
+    # ------------------------------------------------------------- addresses
+
+    @property
+    def address(self) -> Optional[IPAddress]:
+        """The primary (preferred source) address, if any."""
+        return self._addresses[0] if self._addresses else None
+
+    @property
+    def addresses(self) -> List[IPAddress]:
+        """All addresses (primary first)."""
+        return list(self._addresses)
+
+    def owns_address(self, addr: IPAddress) -> bool:
+        """True if *addr* is configured on this interface."""
+        return addr in self._addresses
+
+    def add_address(self, addr: IPAddress, make_primary: bool = False) -> None:
+        """Install *addr* (an alias) on this interface."""
+        if addr in self._addresses:
+            if make_primary:
+                self._addresses.remove(addr)
+                self._addresses.insert(0, addr)
+            return
+        if make_primary:
+            self._addresses.insert(0, addr)
+        else:
+            self._addresses.append(addr)
+        self._on_address_added(addr)
+        self.sim.trace.emit("device", "address_added", interface=self.name,
+                            address=str(addr))
+
+    def remove_address(self, addr: IPAddress) -> None:
+        """Remove *addr*; packets for it are no longer accepted."""
+        if addr not in self._addresses:
+            return
+        self._addresses.remove(addr)
+        self._on_address_removed(addr)
+        self.sim.trace.emit("device", "address_removed", interface=self.name,
+                            address=str(addr))
+
+    def _on_address_added(self, addr: IPAddress) -> None:
+        """Technology hook (radio publishes to the channel, etc.)."""
+
+    def _on_address_removed(self, addr: IPAddress) -> None:
+        """Technology hook."""
+
+    # ------------------------------------------------------- state machine
+
+    @property
+    def is_up(self) -> bool:
+        """True when the device is operational."""
+        return self.state == InterfaceState.UP
+
+    def _jittered(self, base: int) -> int:
+        return jittered(self._rng, base, self.config.jitter)
+
+    def bring_up(self, on_done: Callback = None) -> None:
+        """``ifconfig up``: after the device's up-delay, start receiving."""
+        if self.state == InterfaceState.UP:
+            if on_done is not None:
+                on_done()
+            return
+        if self.state == InterfaceState.STARTING:
+            raise InterfaceError(f"{self.name} is already starting")
+        self.state = InterfaceState.STARTING
+        self.sim.trace.emit("device", "up_start", interface=self.name)
+
+        def finish() -> None:
+            self.state = InterfaceState.UP
+            self.sim.trace.emit("device", "up_done", interface=self.name)
+            for addr in self._addresses:
+                self._on_address_added(addr)
+            if on_done is not None:
+                on_done()
+
+        self.sim.call_later(self._jittered(self.device.up_delay), finish,
+                            label=f"ifup:{self.name}")
+
+    def bring_down(self, on_done: Callback = None) -> None:
+        """``ifconfig down``: stop sending/receiving after the down-delay."""
+        if self.state == InterfaceState.DOWN:
+            if on_done is not None:
+                on_done()
+            return
+        self.state = InterfaceState.STOPPING
+        self.sim.trace.emit("device", "down_start", interface=self.name)
+
+        def finish() -> None:
+            self.state = InterfaceState.DOWN
+            self.sim.trace.emit("device", "down_done", interface=self.name)
+            if on_done is not None:
+                on_done()
+
+        self.sim.call_later(self._jittered(self.device.down_delay), finish,
+                            label=f"ifdown:{self.name}")
+
+    def configure(self, addr: IPAddress, net: Subnet,
+                  on_done: Callback = None, make_primary: bool = True) -> None:
+        """Configure an address (Figure 7's "configure interface" stage).
+
+        The address becomes live only when the configure delay elapses,
+        matching the ioctl round-trip on the real system.
+        """
+        self.sim.trace.emit("device", "configure_start", interface=self.name,
+                            address=str(addr))
+
+        def finish() -> None:
+            self.subnet = net
+            self.add_address(addr, make_primary=make_primary)
+            self.sim.trace.emit("device", "configure_done", interface=self.name,
+                                address=str(addr))
+            if on_done is not None:
+                on_done()
+
+        self.sim.call_later(self._jittered(self.device.configure_delay), finish,
+                            label=f"ifconfig:{self.name}")
+
+    # ------------------------------------------------------------------ I/O
+
+    def send_ip(self, packet: IPPacket, next_hop: IPAddress) -> None:
+        """Transmit an IP packet toward *next_hop* (technology-specific)."""
+        raise NotImplementedError
+
+    def _guard_send(self, packet: IPPacket) -> bool:
+        """Common send-side checks; returns True if the packet may go out."""
+        if self.state != InterfaceState.UP:
+            self.dropped_down += 1
+            self.sim.trace.emit("device", "tx_drop_down", interface=self.name,
+                                packet=packet.describe())
+            return False
+        return True
+
+    def _deliver_to_host(self, packet: IPPacket) -> None:
+        if self.state != InterfaceState.UP:
+            self.dropped_down += 1
+            self.sim.trace.emit("device", "rx_drop_down", interface=self.name,
+                                packet=packet.describe())
+            return
+        if self.host is None:
+            raise InterfaceError(f"{self.name} is not attached to a host")
+        self.rx_packets += 1
+        self.host.ip.receive_packet(packet, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} {self.state.value} {self.address}>"
+
+
+class EthernetInterface(NetworkInterface):
+    """An Ethernet NIC on a shared segment, with its own ARP service."""
+
+    def __init__(self, sim: Simulator, name: str, mac: MACAddress,
+                 config: Config, device: Optional[DeviceTimings] = None) -> None:
+        super().__init__(sim, name, device or config.ethernet_device, config)
+        self.mac = mac
+        self.segment: Optional["EthernetSegment"] = None
+        self.arp = ARPService(self)
+
+    def attach(self, segment: "EthernetSegment") -> None:
+        """Plug into an Ethernet segment."""
+        if self.segment is not None:
+            raise InterfaceError(f"{self.name} already attached")
+        self.segment = segment
+        segment.attach(self)
+
+    def detach(self) -> None:
+        """Unplug the cable (physically moving the mobile host)."""
+        if self.segment is None:
+            return
+        self.segment.detach(self)
+        self.segment = None
+        self.arp.flush()
+
+    def send_ip(self, packet: IPPacket, next_hop: IPAddress) -> None:
+        """Transmit toward *next_hop*, resolving its MAC via ARP."""
+        if not self._guard_send(packet):
+            return
+        if self.segment is None:
+            # The cable is unplugged: packets fall on the floor, exactly
+            # as on real hardware.
+            self.dropped_down += 1
+            self.sim.trace.emit("device", "tx_drop_unplugged",
+                                interface=self.name)
+            return
+        self.tx_packets += 1
+        if next_hop.is_limited_broadcast or (
+            self.subnet is not None and next_hop == self.subnet.broadcast
+        ):
+            self.transmit_ip_frame(packet, broadcast=True)
+            return
+        self.arp.resolve_and_send(packet, next_hop)
+
+    def transmit_ip_frame(self, packet: IPPacket, mac: Optional[MACAddress] = None,
+                          broadcast: bool = False) -> None:
+        """Frame *packet* and put it on the segment (post-ARP path)."""
+        from repro.net.addressing import BROADCAST_MAC
+        from repro.net.ethernet import ETHERTYPE_IPV4, EthernetFrame
+
+        if self.segment is None or self.state != InterfaceState.UP:
+            self.dropped_down += 1
+            return
+        dst = BROADCAST_MAC if broadcast else mac
+        assert dst is not None
+        frame = EthernetFrame(src=self.mac, dst=dst, ethertype=ETHERTYPE_IPV4,
+                              payload=packet)
+        self.segment.transmit(frame, self)
+
+    def transmit_arp(self, message: ARPMessage, dst: MACAddress) -> None:
+        """Frame and transmit one ARP message."""
+        from repro.net.ethernet import ETHERTYPE_ARP, EthernetFrame
+
+        if self.segment is None or self.state not in (InterfaceState.UP, InterfaceState.STARTING):
+            return
+        frame = EthernetFrame(src=self.mac, dst=dst, ethertype=ETHERTYPE_ARP,
+                              payload=message)
+        self.segment.transmit(frame, self)
+
+    def deliver_frame(self, frame: object) -> None:
+        """Receive one frame from the segment."""
+        from repro.net.ethernet import ETHERTYPE_ARP, ETHERTYPE_IPV4, EthernetFrame
+
+        assert isinstance(frame, EthernetFrame)
+        if self.state != InterfaceState.UP:
+            self.dropped_down += 1
+            return
+        if frame.dst != self.mac and not frame.dst.is_broadcast:
+            return  # not for us; NIC filter discards silently
+        if frame.ethertype == ETHERTYPE_ARP:
+            assert isinstance(frame.payload, ARPMessage)
+            self.arp.handle(frame.payload)
+            return
+        if frame.ethertype == ETHERTYPE_IPV4:
+            assert isinstance(frame.payload, IPPacket)
+            self._deliver_to_host(frame.payload)
+
+
+class RadioInterface(NetworkInterface):
+    """A Metricom radio behind a serial port (the STRIP driver's world).
+
+    Outgoing packets pay the serial-line cost (115.2 kbit/s) before the
+    radio hop; incoming packets pay it after.  Starmode has no ARP: owned
+    addresses are published to the channel's static map.
+    """
+
+    def __init__(self, sim: Simulator, name: str, config: Config,
+                 device: Optional[DeviceTimings] = None) -> None:
+        super().__init__(sim, name, device or config.radio_device, config)
+        self.channel: Optional["RadioChannel"] = None
+        # The serial line is full duplex; each direction serializes
+        # independently (115.2 kbit/s each way).
+        self._serial_busy_until = {"tx": 0, "rx": 0}
+
+    def attach(self, channel: "RadioChannel") -> None:
+        """Join a radio channel."""
+        if self.channel is not None:
+            raise InterfaceError(f"{self.name} already attached")
+        self.channel = channel
+        channel.attach(self)
+
+    def _serial_finish_time(self, size_bytes: int, direction: str) -> int:
+        """When this packet clears the serial line (FIFO per direction)."""
+        from repro.sim.units import transmission_delay
+
+        serial = self.config.serial
+        start = max(self.sim.now, self._serial_busy_until[direction])
+        finish = start + transmission_delay(size_bytes, serial.bandwidth_bps)
+        self._serial_busy_until[direction] = finish
+        return finish + serial.latency
+
+    def _on_address_added(self, addr: IPAddress) -> None:
+        if self.channel is not None and self.state == InterfaceState.UP:
+            self.channel.publish(addr, self)
+
+    def _on_address_removed(self, addr: IPAddress) -> None:
+        if self.channel is not None:
+            self.channel.withdraw(addr)
+
+    def send_ip(self, packet: IPPacket, next_hop: IPAddress) -> None:
+        """Haul the packet over the serial line, then radiate it."""
+        if not self._guard_send(packet):
+            return
+        if self.channel is None:
+            raise InterfaceError(f"{self.name} has no channel")
+        self.tx_packets += 1
+        deliver_at = self._serial_finish_time(packet.size_bytes, "tx")
+        self.sim.call_at(
+            deliver_at,
+            lambda: self._radio_transmit(packet, next_hop),
+            label=f"serial-tx:{self.name}",
+        )
+
+    def _radio_transmit(self, packet: IPPacket, next_hop: IPAddress) -> None:
+        if self.channel is None or self.state != InterfaceState.UP:
+            self.dropped_down += 1
+            return
+        self.channel.transmit(packet, next_hop, self)
+
+    def deliver_from_radio(self, packet: IPPacket) -> None:
+        """Packet arrived over the air; haul it across the serial line."""
+        if self.state != InterfaceState.UP:
+            self.dropped_down += 1
+            self.sim.trace.emit("device", "rx_drop_down", interface=self.name,
+                                packet=packet.describe())
+            return
+        deliver_at = self._serial_finish_time(packet.size_bytes, "rx")
+        self.sim.call_at(
+            deliver_at,
+            lambda: self._deliver_to_host(packet),
+            label=f"serial-rx:{self.name}",
+        )
+
+
+class PointToPointInterface(NetworkInterface):
+    """One end of a point-to-point IP link (backbone hop, PPP, SLIP)."""
+
+    def __init__(self, sim: Simulator, name: str, config: Config,
+                 device: Optional[DeviceTimings] = None) -> None:
+        super().__init__(sim, name, device or config.virtual_device, config)
+        self.link: Optional["PointToPointLink"] = None
+
+    def attach(self, link: "PointToPointLink") -> None:
+        """Connect to one end of a point-to-point link."""
+        if self.link is not None:
+            raise InterfaceError(f"{self.name} already attached")
+        self.link = link
+        link.connect(self)
+
+    def send_ip(self, packet: IPPacket, next_hop: IPAddress) -> None:
+        """Transmit to the far endpoint (next hop is implicit)."""
+        if not self._guard_send(packet):
+            return
+        if self.link is None:
+            raise InterfaceError(f"{self.name} has no link")
+        self.tx_packets += 1
+        self.link.transmit(packet, self)
+
+    def deliver_from_link(self, packet: IPPacket) -> None:
+        """Receive one packet from the link."""
+        self._deliver_to_host(packet)
+
+
+class LoopbackInterface(NetworkInterface):
+    """The ``lo`` interface: packets bounce straight back to the host."""
+
+    def __init__(self, sim: Simulator, config: Config, name: str = "lo") -> None:
+        super().__init__(sim, name, config.virtual_device, config)
+        self.state = InterfaceState.UP  # loopback is born up
+
+    def send_ip(self, packet: IPPacket, next_hop: IPAddress) -> None:
+        """Bounce the packet straight back to this host."""
+        if not self._guard_send(packet):
+            return
+        self.tx_packets += 1
+        self.sim.call_later(0, lambda: self._deliver_to_host(packet),
+                            label=f"lo:{self.name}")

@@ -1,0 +1,220 @@
+"""Links: the physical media of the Figure 5 testbed.
+
+Three media appear in the paper:
+
+* **Ethernet segments** (nets 36.135 and 36.8): shared broadcast media.
+  Every attached, powered-up interface hears every frame and filters by
+  destination MAC.
+* **Point-to-point links**: the campus backbone hop between routers (the
+  paper's "cloud"), and the 115.2 kbit/s serial line between the Handbook
+  and its Metricom radio.
+* **Radio channels** (net 36.134): Metricom Starmode datagram service.
+  STRIP does not use ARP; the channel keeps the static IP -> radio mapping
+  the driver would hold.  Effective throughput is 30-40 kbit/s with high
+  per-packet latency, so the radio RTT through the home agent lands in the
+  paper's 200-250 ms band.
+
+Every medium charges ``latency + size / bandwidth`` and can drop packets
+with an independent loss probability drawn from a dedicated RNG stream.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.config import LinkTimings
+from repro.net.addressing import IPAddress
+from repro.net.packet import IPPacket
+from repro.sim.engine import Simulator
+from repro.sim.randomness import bernoulli
+from repro.sim.units import transmission_delay
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.ethernet import EthernetFrame
+    from repro.net.interface import EthernetInterface, RadioInterface
+
+
+class Link:
+    """Common bookkeeping for all media.
+
+    Transmissions serialize: a sender (or a shared medium) can only put one
+    frame on the wire at a time, so a burst of back-to-back packets queues
+    and arrives spaced by its serialization time, in order.  Without this,
+    bursts would arrive effectively simultaneously in arbitrary order —
+    both unphysical and fatal to TCP's in-order delivery.
+    """
+
+    def __init__(self, sim: Simulator, name: str, timings: LinkTimings) -> None:
+        self.sim = sim
+        self.name = name
+        self.timings = timings
+        self.frames_sent = 0
+        self.frames_dropped = 0
+        self.bytes_sent = 0
+        self._rng = sim.rng(f"link:{name}")
+        #: Per-transmitter busy-until times; key None = the shared medium.
+        self._busy_until: Dict[object, int] = {}
+
+    def _delivery_time(self, size_bytes: int, key: object = None) -> int:
+        """Absolute delivery time, honouring the transmitter's queue."""
+        start = max(self.sim.now, self._busy_until.get(key, 0))
+        finish = start + transmission_delay(size_bytes,
+                                            self.timings.bandwidth_bps)
+        self._busy_until[key] = finish
+        return finish + self.timings.latency
+
+    def queue_depth_ns(self, key: object = None) -> int:
+        """How far the transmitter is backed up (0 = idle)."""
+        return max(0, self._busy_until.get(key, 0) - self.sim.now)
+
+    def _drops(self) -> bool:
+        if bernoulli(self._rng, self.timings.loss_rate):
+            self.frames_dropped += 1
+            self.sim.trace.emit("link", "drop", link=self.name)
+            return True
+        return False
+
+
+class EthernetSegment(Link):
+    """A shared Ethernet: frames reach every other attached interface."""
+
+    def __init__(self, sim: Simulator, name: str, timings: LinkTimings) -> None:
+        super().__init__(sim, name, timings)
+        self._ports: List["EthernetInterface"] = []
+
+    def attach(self, interface: "EthernetInterface") -> None:
+        """Connect an interface to the shared medium."""
+        if interface in self._ports:
+            raise ValueError(f"{interface.name} already attached to {self.name}")
+        self._ports.append(interface)
+
+    def detach(self, interface: "EthernetInterface") -> None:
+        """Disconnect an interface (unplug the cable)."""
+        self._ports.remove(interface)
+
+    def transmit(self, frame: "EthernetFrame", sender: "EthernetInterface") -> None:
+        """Put *frame* on the wire; deliver to every other port after delay.
+
+        The segment is a single shared medium: concurrent senders
+        serialize behind one another (we model the ether as one queue
+        rather than simulating CSMA/CD collisions).
+        """
+        self.frames_sent += 1
+        self.bytes_sent += frame.size_bytes
+        if self._drops():
+            return
+        deliver_at = self._delivery_time(frame.size_bytes)
+        for port in self._ports:
+            if port is sender:
+                continue
+            self.sim.call_at(
+                deliver_at,
+                lambda port=port: port.deliver_frame(frame),
+                label=f"eth:{self.name}",
+            )
+
+
+class PointToPointLink(Link):
+    """A two-endpoint pipe carrying IP packets (backbone or serial line).
+
+    Endpoints register with :meth:`connect`; anything with a
+    ``deliver_from_link(packet)`` method qualifies (point-to-point
+    interfaces, or internal radio plumbing for the serial hop).
+    """
+
+    def __init__(self, sim: Simulator, name: str, timings: LinkTimings) -> None:
+        super().__init__(sim, name, timings)
+        self._endpoints: List[object] = []
+
+    def connect(self, endpoint: object) -> None:
+        """Register one of the two endpoints."""
+        if len(self._endpoints) >= 2:
+            raise ValueError(f"{self.name} already has two endpoints")
+        self._endpoints.append(endpoint)
+
+    def transmit(self, packet: IPPacket, sender: object) -> None:
+        """Carry *packet* to the far endpoint."""
+        if sender not in self._endpoints:
+            raise ValueError(f"{sender!r} is not an endpoint of {self.name}")
+        self.frames_sent += 1
+        self.bytes_sent += packet.size_bytes
+        if self._drops():
+            return
+        peers = [endpoint for endpoint in self._endpoints if endpoint is not sender]
+        if not peers:
+            return
+        peer = peers[0]
+        # Full duplex: each direction has its own transmitter queue.
+        deliver_at = self._delivery_time(packet.size_bytes, key=id(sender))
+        self.sim.call_at(
+            deliver_at,
+            lambda: peer.deliver_from_link(packet),  # type: ignore[attr-defined]
+            label=f"p2p:{self.name}",
+        )
+
+
+class RadioChannel(Link):
+    """Metricom Starmode-style connectionless datagram radio.
+
+    The channel maintains the static IP -> radio mapping the STRIP driver
+    keeps (Starmode has no ARP).  Interfaces (re)publish their address with
+    :meth:`publish`; unicast packets for an unpublished address vanish into
+    the air, as they would in reality.
+    """
+
+    def __init__(self, sim: Simulator, name: str, timings: LinkTimings) -> None:
+        super().__init__(sim, name, timings)
+        self._radios: List["RadioInterface"] = []
+        self._by_address: Dict[IPAddress, "RadioInterface"] = {}
+
+    def attach(self, interface: "RadioInterface") -> None:
+        """Register a radio on the channel."""
+        if interface in self._radios:
+            raise ValueError(f"{interface.name} already attached to {self.name}")
+        self._radios.append(interface)
+
+    def detach(self, interface: "RadioInterface") -> None:
+        """Remove a radio and withdraw its published addresses."""
+        self._radios.remove(interface)
+        stale = [addr for addr, iface in self._by_address.items() if iface is interface]
+        for addr in stale:
+            del self._by_address[addr]
+
+    def publish(self, address: IPAddress, interface: "RadioInterface") -> None:
+        """Record that *address* is reachable at *interface*'s radio."""
+        self._by_address[address] = interface
+
+    def withdraw(self, address: IPAddress) -> None:
+        """Remove one address from the static IP->radio map."""
+        self._by_address.pop(address, None)
+
+    def transmit(self, packet: IPPacket, next_hop: IPAddress,
+                 sender: "RadioInterface") -> None:
+        """Radiate *packet* toward the radio owning *next_hop*."""
+        self.frames_sent += 1
+        self.bytes_sent += packet.size_bytes
+        if self._drops():
+            return
+        # One shared air interface: all radios serialize behind each other.
+        deliver_at = self._delivery_time(packet.size_bytes)
+        if next_hop.is_limited_broadcast:
+            for radio in self._radios:
+                if radio is sender:
+                    continue
+                self.sim.call_at(
+                    deliver_at,
+                    lambda radio=radio: radio.deliver_from_radio(packet),
+                    label=f"radio:{self.name}:bcast",
+                )
+            return
+        target = self._by_address.get(next_hop)
+        if target is None or target is sender:
+            self.sim.trace.emit("link", "radio_unreachable", link=self.name,
+                                next_hop=str(next_hop))
+            self.frames_dropped += 1
+            return
+        self.sim.call_at(
+            deliver_at,
+            lambda: target.deliver_from_radio(packet),
+            label=f"radio:{self.name}",
+        )

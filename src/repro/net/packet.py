@@ -1,0 +1,163 @@
+"""Packet model: IP datagrams and the payloads MosquitoNet moves around.
+
+Packets are plain dataclasses.  An IP-in-IP tunnel packet is simply an
+:class:`IPPacket` whose protocol is :data:`PROTO_IPIP` and whose payload is
+the full inner :class:`IPPacket` — exactly the RFC 2003 encapsulation the
+paper's VIF performs, including the 20-byte overhead the paper quotes
+("encapsulation adds 20 bytes or more to the packet length").
+
+Sizes matter because link serialization delays derive from them; every
+payload type therefore reports ``size_bytes``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional, Protocol, runtime_checkable
+
+from repro.net.addressing import IPAddress
+
+#: IANA protocol numbers (the subset we implement).
+PROTO_ICMP = 1
+PROTO_IPIP = 4
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+PROTOCOL_NAMES = {
+    PROTO_ICMP: "ICMP",
+    PROTO_IPIP: "IPIP",
+    PROTO_TCP: "TCP",
+    PROTO_UDP: "UDP",
+}
+
+#: Size of an IPv4 header without options, bytes.
+IP_HEADER_BYTES = 20
+#: Size of a UDP header, bytes.
+UDP_HEADER_BYTES = 8
+#: Size of a TCP header without options, bytes.
+TCP_HEADER_BYTES = 20
+#: Size of an ICMP echo header, bytes.
+ICMP_HEADER_BYTES = 8
+
+_packet_ids = itertools.count(1)
+
+
+@runtime_checkable
+class Sized(Protocol):
+    """Anything that can ride inside a packet must know its wire size."""
+
+    @property
+    def size_bytes(self) -> int: ...
+
+
+@dataclass(frozen=True)
+class AppData:
+    """Opaque application payload: a label plus an explicit wire size.
+
+    Experiments tag datagrams with sequence numbers and timestamps by
+    storing them in ``content``; only ``size_bytes`` affects the simulation.
+    """
+
+    content: Any = None
+    size_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError("payload size cannot be negative")
+
+
+@dataclass(frozen=True)
+class UDPDatagram:
+    """A UDP header plus application payload."""
+
+    src_port: int
+    dst_port: int
+    payload: AppData = field(default_factory=AppData)
+
+    def __post_init__(self) -> None:
+        for port in (self.src_port, self.dst_port):
+            if not 0 <= port <= 0xFFFF:
+                raise ValueError(f"bad UDP port {port}")
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size: UDP header plus payload."""
+        return UDP_HEADER_BYTES + self.payload.size_bytes
+
+
+@dataclass(frozen=True)
+class IPPacket:
+    """An IPv4 datagram.
+
+    ``payload`` is one of :class:`UDPDatagram`, :class:`TCPSegment` (see
+    :mod:`repro.net.tcp`), :class:`ICMPMessage` (see :mod:`repro.net.icmp`)
+    or, for tunneled packets, another :class:`IPPacket`.
+    """
+
+    src: IPAddress
+    dst: IPAddress
+    protocol: int
+    payload: Sized
+    ttl: int = 64
+    ident: int = field(default_factory=lambda: next(_packet_ids))
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size: IP header plus payload."""
+        return IP_HEADER_BYTES + self.payload.size_bytes
+
+    @property
+    def is_tunneled(self) -> bool:
+        """True if this packet is an IP-in-IP encapsulation."""
+        return self.protocol == PROTO_IPIP
+
+    @property
+    def inner(self) -> "IPPacket":
+        """The encapsulated packet (only valid when :attr:`is_tunneled`)."""
+        if not self.is_tunneled or not isinstance(self.payload, IPPacket):
+            raise ValueError("not an IP-in-IP packet")
+        return self.payload
+
+    def decremented(self) -> "IPPacket":
+        """Copy with TTL decremented (used when forwarding)."""
+        return replace(self, ttl=self.ttl - 1)
+
+    def protocol_name(self) -> str:
+        """Human-readable protocol number."""
+        return PROTOCOL_NAMES.get(self.protocol, str(self.protocol))
+
+    def describe(self) -> str:
+        """One-line human-readable summary, used in traces and examples."""
+        base = f"{self.src} -> {self.dst} {self.protocol_name()} {self.size_bytes}B"
+        if self.is_tunneled and isinstance(self.payload, IPPacket):
+            return f"{base} [{self.payload.describe()}]"
+        return base
+
+
+def encapsulate(inner: IPPacket, outer_src: IPAddress, outer_dst: IPAddress,
+                ttl: int = 64) -> IPPacket:
+    """Wrap *inner* in an IP-in-IP outer header (RFC 2003 style)."""
+    return IPPacket(src=outer_src, dst=outer_dst, protocol=PROTO_IPIP,
+                    payload=inner, ttl=ttl)
+
+
+def decapsulate(outer: IPPacket) -> IPPacket:
+    """Strip the outer header of an IP-in-IP packet, returning the inner."""
+    return outer.inner
+
+
+def encapsulation_depth(packet: IPPacket) -> int:
+    """Number of nested IP-in-IP layers (0 for a plain packet).
+
+    The paper's VIF design guarantees this never exceeds 1: the outer source
+    address is pinned to a physical interface so the policy lookup cannot
+    route the encapsulated packet back into the VIF.  Property tests assert
+    it.
+    """
+    depth = 0
+    current = packet
+    while current.is_tunneled and isinstance(current.payload, IPPacket):
+        depth += 1
+        current = current.payload
+    return depth

@@ -1,0 +1,140 @@
+"""Routing tables and the ``ip_rt_route()`` result type.
+
+The paper's single kernel hook is the route-lookup function: "this function
+returns, for any given destination address, both the recommended interface
+to use to reach that destination and the recommended source address to use"
+(Section 3.3).  :class:`RouteResult` is exactly that triple (interface,
+source, gateway); :class:`RoutingTable` is an ordinary longest-prefix-match
+table that the mobile-IP layer deliberately leaves untouched, adding its
+policy in a separate table instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.net.addressing import IPAddress, Subnet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.interface import NetworkInterface
+
+#: The default route's destination.
+DEFAULT_DESTINATION = Subnet(IPAddress(0), 0)
+
+
+@dataclass
+class RouteEntry:
+    """One row of a routing table.
+
+    ``gateway`` of ``None`` means the destination is on-link (deliver
+    directly).  ``source`` optionally pins the recommended source address,
+    which the home agent uses to steer intercepted packets into its VIF.
+    """
+
+    destination: Subnet
+    interface: "NetworkInterface"
+    gateway: Optional[IPAddress] = None
+    metric: int = 0
+    source: Optional[IPAddress] = None
+
+    def matches(self, addr: IPAddress) -> bool:
+        """True if *addr* falls within this entry's destination."""
+        return addr in self.destination
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        via = f" via {self.gateway}" if self.gateway else ""
+        return f"<Route {self.destination}{via} dev {self.interface.name} metric {self.metric}>"
+
+
+@dataclass(frozen=True)
+class RouteResult:
+    """What ``ip_rt_route()`` hands back to IP/TCP: iface, source, gateway."""
+
+    interface: "NetworkInterface"
+    source: IPAddress
+    gateway: Optional[IPAddress] = None
+
+    def next_hop(self, dst: IPAddress) -> IPAddress:
+        """The link-layer target: the gateway if any, else the destination."""
+        return self.gateway if self.gateway is not None else dst
+
+
+class RoutingTable:
+    """Longest-prefix-match IPv4 routing table with metrics."""
+
+    def __init__(self) -> None:
+        self._entries: List[RouteEntry] = []
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def add(self, entry: RouteEntry) -> None:
+        """Append an entry (order does not affect lookup)."""
+        self._entries.append(entry)
+
+    def remove(self, entry: RouteEntry) -> None:
+        """Remove exactly this entry object."""
+        self._entries.remove(entry)
+
+    def remove_matching(self, destination: Optional[Subnet] = None,
+                        interface: Optional["NetworkInterface"] = None) -> int:
+        """Remove every entry matching the given criteria; return count."""
+        keep: List[RouteEntry] = []
+        removed = 0
+        for entry in self._entries:
+            if destination is not None and entry.destination != destination:
+                keep.append(entry)
+                continue
+            if interface is not None and entry.interface is not interface:
+                keep.append(entry)
+                continue
+            removed += 1
+        self._entries = keep
+        return removed
+
+    def add_host_route(self, host_addr: IPAddress, interface: "NetworkInterface",
+                       gateway: Optional[IPAddress] = None, metric: int = 0,
+                       source: Optional[IPAddress] = None) -> RouteEntry:
+        """Convenience: install a /32 route for one host."""
+        entry = RouteEntry(destination=Subnet(host_addr, 32), interface=interface,
+                           gateway=gateway, metric=metric, source=source)
+        self.add(entry)
+        return entry
+
+    def add_default(self, interface: "NetworkInterface",
+                    gateway: Optional[IPAddress] = None, metric: int = 0) -> RouteEntry:
+        """Convenience: install a default (0.0.0.0/0) route."""
+        entry = RouteEntry(destination=DEFAULT_DESTINATION, interface=interface,
+                           gateway=gateway, metric=metric)
+        self.add(entry)
+        return entry
+
+    def remove_default(self) -> int:
+        """Drop every default (0.0.0.0/0) route; returns count."""
+        return self.remove_matching(destination=DEFAULT_DESTINATION)
+
+    def lookup(self, dst: IPAddress, require_up: bool = True) -> Optional[RouteEntry]:
+        """Best (longest-prefix, then lowest-metric, then first) match."""
+        best: Optional[RouteEntry] = None
+        for entry in self._entries:
+            if not entry.matches(dst):
+                continue
+            if require_up and not entry.interface.is_up:
+                continue
+            if best is None:
+                best = entry
+                continue
+            if entry.destination.prefix_len > best.destination.prefix_len:
+                best = entry
+            elif (entry.destination.prefix_len == best.destination.prefix_len
+                  and entry.metric < best.metric):
+                best = entry
+        return best
+
+    def entries_for(self, interface: "NetworkInterface") -> List[RouteEntry]:
+        """Every entry using *interface*."""
+        return [entry for entry in self._entries if entry.interface is interface]

@@ -1,0 +1,617 @@
+"""A simplified TCP: enough to show connections surviving handoffs.
+
+The paper's motivating requirement is that "restarting all applications
+every time we change locations is unacceptably annoying" — long-lived TCP
+sessions (remote logins, news readers) must survive a network switch.  That
+works in MosquitoNet because the connection's addresses never change: the
+mobile host's end is always the home address, and segments lost during an
+outage are recovered by ordinary retransmission.
+
+This implementation is deliberately scoped to what the reproduction needs:
+
+* three-way handshake, data transfer, FIN teardown, RST on unknown segments;
+* byte-oriented sequence numbers with cumulative ACKs;
+* timeout retransmission driven by one RTO timer per connection, with
+  Jacobson/Karels RTT estimation and exponential backoff (Karn's rule:
+  retransmitted segments don't update the RTT estimate);
+* Tahoe-style congestion control: slow start and congestion avoidance,
+  timeout collapses the window to one segment.  Without it a timeout
+  across the 34 kbit/s radio would dump the whole window into a pipe that
+  takes over a second to drain it — congestion collapse, the exact
+  problem Van Jacobson fixed in 1988 and every 1996 TCP already had.
+
+Out of scope: out-of-order reassembly (a receiver ACKs what it has; the
+sender resends the rest), fast retransmit, selective ACKs, urgent data,
+window scaling.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+from repro.config import Config, HostTimings
+from repro.net.addressing import IPAddress, UNSPECIFIED
+from repro.net.packet import PROTO_TCP, TCP_HEADER_BYTES, AppData, IPPacket
+from repro.sim.engine import Simulator
+from repro.sim.fifo import FifoDelay
+from repro.sim.randomness import jittered
+from repro.sim.units import ms
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.host import Host
+    from repro.net.interface import NetworkInterface
+
+FLAG_SYN = "SYN"
+FLAG_ACK = "ACK"
+FLAG_FIN = "FIN"
+FLAG_RST = "RST"
+
+
+@dataclass(frozen=True)
+class TCPSegment:
+    """One TCP segment; ``seq`` counts bytes, SYN/FIN occupy one each."""
+
+    src_port: int
+    dst_port: int
+    seq: int
+    ack: int
+    flags: frozenset
+    payload: AppData = field(default_factory=AppData)
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size: TCP header plus payload."""
+        return TCP_HEADER_BYTES + self.payload.size_bytes
+
+    @property
+    def seq_space(self) -> int:
+        """Sequence-number space consumed: data bytes plus SYN/FIN."""
+        length = self.payload.size_bytes
+        if FLAG_SYN in self.flags:
+            length += 1
+        if FLAG_FIN in self.flags:
+            length += 1
+        return length
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        names = "|".join(sorted(self.flags)) or "-"
+        return (f"{self.src_port}->{self.dst_port} {names} seq={self.seq} "
+                f"ack={self.ack} len={self.payload.size_bytes}")
+
+
+class TCPState(enum.Enum):
+    CLOSED = "closed"
+    LISTEN = "listen"
+    SYN_SENT = "syn-sent"
+    SYN_RECEIVED = "syn-received"
+    ESTABLISHED = "established"
+    FIN_WAIT_1 = "fin-wait-1"
+    FIN_WAIT_2 = "fin-wait-2"
+    CLOSE_WAIT = "close-wait"
+    LAST_ACK = "last-ack"
+    TIME_WAIT = "time-wait"
+
+
+#: Key identifying one connection: (local port, remote addr, remote port).
+ConnKey = Tuple[int, IPAddress, int]
+
+_initial_seq = itertools.count(1000, 64000)
+
+#: Retransmission limits.
+MIN_RTO = ms(400)
+MAX_RTO = ms(16_000)
+MAX_RETRANSMITS = 12
+TIME_WAIT_DELAY = ms(2000)
+#: Fixed in-flight window (segments' worth of bytes).
+DEFAULT_WINDOW_BYTES = 4096
+#: Maximum payload bytes per segment.
+DEFAULT_MSS = 512
+
+
+@dataclass
+class _SendItem:
+    offset: int
+    data: AppData
+    fin: bool = False
+
+
+class TCPConnection:
+    """One endpoint of a TCP connection."""
+
+    def __init__(self, service: "TCPService", local_addr: IPAddress,
+                 local_port: int, remote_addr: IPAddress, remote_port: int) -> None:
+        self._service = service
+        self.sim = service.sim
+        self.local_addr = local_addr
+        self.local_port = local_port
+        self.remote_addr = remote_addr
+        self.remote_port = remote_port
+        self.state = TCPState.CLOSED
+
+        # Send side.
+        self.iss = next(_initial_seq)
+        self.snd_una = self.iss          # oldest unacknowledged
+        self.snd_nxt = self.iss          # next to (re)send
+        self.snd_max = self.iss          # highest ever sent (for rewinds)
+        self._send_buffer: List[_SendItem] = []
+        self._next_offset = 0            # byte offset after SYN for app data
+        self._fin_queued = False
+
+        # Receive side.
+        self.rcv_nxt = 0
+
+        # Congestion control (Tahoe): slow start + congestion avoidance.
+        self.cwnd = 2 * DEFAULT_MSS
+        self.ssthresh = DEFAULT_WINDOW_BYTES
+
+        # RTT estimation (Jacobson/Karels), nanoseconds.
+        self._srtt: Optional[int] = None
+        self._rttvar: int = 0
+        self._rto: int = ms(1000)
+        self._rto_backoff = 0
+        self._timing_seq: Optional[int] = None   # Karn: seq whose RTT we time
+        self._timing_sent_at = 0
+        self._retransmit_event: Optional[object] = None
+        self._retransmit_count = 0
+
+        # Callbacks.
+        self.on_established: Optional[Callable[[], None]] = None
+        self.on_data: Optional[Callable[[AppData], None]] = None
+        self.on_close: Optional[Callable[[], None]] = None
+        self.on_reset: Optional[Callable[[], None]] = None
+
+        # Statistics (examples and tests read these).
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.segments_sent = 0
+        self.segments_retransmitted = 0
+
+    # ------------------------------------------------------------ public API
+
+    @property
+    def key(self) -> ConnKey:
+        """The demux key: (local port, remote addr, remote port)."""
+        return (self.local_port, self.remote_addr, self.remote_port)
+
+    def send(self, data: AppData) -> None:
+        """Queue application data for reliable delivery.
+
+        Writes larger than the MSS are segmented; the first segment keeps
+        the application's content object (so small-message protocols see
+        their objects intact) and continuation segments carry sizing only,
+        as a byte stream would.
+        """
+        if self.state not in (TCPState.ESTABLISHED, TCPState.CLOSE_WAIT):
+            raise TCPError(f"cannot send in state {self.state.value}")
+        if data.size_bytes <= 0:
+            raise TCPError("cannot send an empty payload")
+        remaining = data.size_bytes
+        first = True
+        while remaining > 0:
+            take = min(remaining, DEFAULT_MSS)
+            chunk = AppData(data.content if first
+                            else ("segment-of", data.content), take)
+            self._send_buffer.append(_SendItem(offset=self._next_offset,
+                                               data=chunk))
+            self._next_offset += take
+            remaining -= take
+            first = False
+        self._pump()
+
+    def close(self) -> None:
+        """Half-close: FIN after any queued data."""
+        if self.state in (TCPState.CLOSED, TCPState.TIME_WAIT,
+                          TCPState.LAST_ACK, TCPState.FIN_WAIT_1,
+                          TCPState.FIN_WAIT_2):
+            return
+        self._fin_queued = True
+        self._send_buffer.append(_SendItem(offset=self._next_offset,
+                                           data=AppData(None, 0), fin=True))
+        self._next_offset += 1
+        if self.state == TCPState.ESTABLISHED:
+            self.state = TCPState.FIN_WAIT_1
+        elif self.state == TCPState.CLOSE_WAIT:
+            self.state = TCPState.LAST_ACK
+        self._pump()
+
+    def abort(self) -> None:
+        """Send RST and drop all state."""
+        self._emit(flags=frozenset({FLAG_RST}))
+        self._teardown()
+
+    # ---------------------------------------------------------- client opening
+
+    def _open_active(self) -> None:
+        self.state = TCPState.SYN_SENT
+        self._emit(flags=frozenset({FLAG_SYN}), seq=self.iss)
+        self.snd_nxt = self.iss + 1
+        self.snd_max = self.snd_nxt
+        self._start_timing(self.iss)
+        self._arm_retransmit()
+
+    # ----------------------------------------------------------------- sending
+
+    def _pump(self) -> None:
+        """Transmit whatever the window allows."""
+        if self.state not in (TCPState.ESTABLISHED, TCPState.CLOSE_WAIT,
+                              TCPState.FIN_WAIT_1, TCPState.LAST_ACK):
+            return
+        window_limit = self.snd_una + min(DEFAULT_WINDOW_BYTES, self.cwnd)
+        base = self.iss + 1
+        for item in self._send_buffer:
+            seq = base + item.offset
+            end = seq + (1 if item.fin else item.data.size_bytes)
+            if seq < self.snd_nxt:
+                continue  # already in flight
+            if end > window_limit:
+                break
+            if item.fin:
+                self._emit(flags=frozenset({FLAG_FIN, FLAG_ACK}), seq=seq)
+            else:
+                self._emit(flags=frozenset({FLAG_ACK}), seq=seq, payload=item.data)
+                self.bytes_sent += item.data.size_bytes
+            self.snd_nxt = end
+            self.snd_max = max(self.snd_max, end)
+            if self._timing_seq is None:
+                self._start_timing(seq)
+        if self.snd_nxt > self.snd_una and self._retransmit_event is None:
+            # Only arm if idle: re-arming on every application write would
+            # keep pushing the deadline out and the timer would never fire
+            # while the application keeps producing data.
+            self._arm_retransmit()
+
+    def _emit(self, flags: frozenset, seq: Optional[int] = None,
+              payload: Optional[AppData] = None) -> None:
+        segment = TCPSegment(
+            src_port=self.local_port, dst_port=self.remote_port,
+            seq=seq if seq is not None else self.snd_nxt,
+            ack=self.rcv_nxt, flags=flags,
+            payload=payload if payload is not None else AppData(None, 0),
+        )
+        self.segments_sent += 1
+        self._service.transmit(self, segment)
+
+    def _send_ack(self) -> None:
+        self._emit(flags=frozenset({FLAG_ACK}))
+
+    # ----------------------------------------------------- retransmission/RTT
+
+    def _start_timing(self, seq: int) -> None:
+        self._timing_seq = seq
+        self._timing_sent_at = self.sim.now
+
+    def _update_rtt(self, measured: int) -> None:
+        if self._srtt is None:
+            self._srtt = measured
+            self._rttvar = measured // 2
+        else:
+            delta = measured - self._srtt
+            self._srtt += delta // 8
+            self._rttvar += (abs(delta) - self._rttvar) // 4
+        self._rto = max(MIN_RTO, min(MAX_RTO, self._srtt + 4 * self._rttvar))
+        self._rto_backoff = 0
+
+    def _arm_retransmit(self) -> None:
+        self._cancel_retransmit()
+        rto = min(MAX_RTO, self._rto << self._rto_backoff)
+        self._retransmit_event = self.sim.call_later(
+            rto, self._on_retransmit_timeout,
+            label=f"tcp-rto:{self.local_port}",
+        )
+
+    def _cancel_retransmit(self) -> None:
+        if self._retransmit_event is not None:
+            self._retransmit_event.cancel()  # type: ignore[attr-defined]
+            self._retransmit_event = None
+
+    def _on_retransmit_timeout(self) -> None:
+        self._retransmit_event = None
+        if self.snd_una >= self.snd_max and self.state not in (
+                TCPState.SYN_SENT, TCPState.SYN_RECEIVED):
+            return  # everything acknowledged meanwhile
+        self._retransmit_count += 1
+        if self._retransmit_count > MAX_RETRANSMITS:
+            self.sim.trace.emit("tcp", "gave_up", conn=self._describe())
+            if self.on_reset is not None:
+                self.on_reset()
+            self._teardown()
+            return
+        self.segments_retransmitted += 1
+        self._rto_backoff = min(self._rto_backoff + 1, 6)
+        self._timing_seq = None  # Karn's rule
+        # Tahoe on timeout: remember half the flight as the slow-start
+        # threshold, collapse the window to one segment, and rewind the
+        # send point to the oldest unacknowledged byte.  The pump then
+        # resends exactly one segment now; slow start re-covers the rest
+        # as ACKs return, instead of dumping the whole window into a slow
+        # link at once.
+        flight = self.snd_max - self.snd_una
+        self.ssthresh = max(flight // 2, DEFAULT_MSS)
+        self.cwnd = DEFAULT_MSS
+        self.sim.trace.emit("tcp", "retransmit", conn=self._describe(),
+                            snd_una=self.snd_una, attempt=self._retransmit_count)
+        if self.state == TCPState.SYN_SENT:
+            self._emit(flags=frozenset({FLAG_SYN}), seq=self.iss)
+        elif self.state == TCPState.SYN_RECEIVED:
+            self._emit(flags=frozenset({FLAG_SYN, FLAG_ACK}), seq=self.iss)
+        else:
+            self.snd_nxt = self.snd_una
+            self._pump()
+        self._arm_retransmit()
+
+    # --------------------------------------------------------------- receiving
+
+    def handle_segment(self, segment: TCPSegment) -> None:
+        """Process one received segment (the whole state machine)."""
+        if FLAG_RST in segment.flags:
+            self.sim.trace.emit("tcp", "reset_received", conn=self._describe())
+            if self.on_reset is not None:
+                self.on_reset()
+            self._teardown()
+            return
+        if self.state == TCPState.SYN_SENT:
+            self._handle_syn_sent(segment)
+            return
+        if self.state == TCPState.SYN_RECEIVED and FLAG_ACK in segment.flags \
+                and segment.ack >= self.iss + 1:
+            self.state = TCPState.ESTABLISHED
+            self._established()
+        if FLAG_ACK in segment.flags:
+            self._process_ack(segment.ack)
+        if FLAG_SYN in segment.flags and self.state == TCPState.ESTABLISHED:
+            # Peer retransmitted SYN+ACK (our ACK was lost): re-ACK it.
+            self._send_ack()
+            return
+        self._process_payload(segment)
+
+    def _handle_syn_sent(self, segment: TCPSegment) -> None:
+        if FLAG_SYN not in segment.flags or FLAG_ACK not in segment.flags:
+            return
+        if segment.ack != self.iss + 1:
+            return
+        self.rcv_nxt = segment.seq + 1
+        self.snd_una = segment.ack
+        self._retransmit_count = 0
+        if self._timing_seq is not None and self._timing_seq == self.iss:
+            self._update_rtt(self.sim.now - self._timing_sent_at)
+            self._timing_seq = None
+        self._cancel_retransmit()
+        self.state = TCPState.ESTABLISHED
+        self._send_ack()
+        self._established()
+        self._pump()
+
+    def _established(self) -> None:
+        self.sim.trace.emit("tcp", "established", conn=self._describe())
+        if self.on_established is not None:
+            callback, self.on_established = self.on_established, None
+            callback()
+
+    def _process_ack(self, ack: int) -> None:
+        if ack <= self.snd_una or ack > self.snd_max:
+            return
+        if self._timing_seq is not None and ack > self._timing_seq:
+            self._update_rtt(self.sim.now - self._timing_sent_at)
+            self._timing_seq = None
+        self.snd_una = ack
+        if self.snd_nxt < ack:
+            self.snd_nxt = ack  # a late ACK can outrun a rewound send point
+        self._retransmit_count = 0
+        # Congestion window growth: slow start below ssthresh (one MSS per
+        # ACK), additive increase above it.
+        if self.cwnd < self.ssthresh:
+            self.cwnd += DEFAULT_MSS
+        else:
+            self.cwnd += max(DEFAULT_MSS * DEFAULT_MSS // self.cwnd, 1)
+        self.cwnd = min(self.cwnd, DEFAULT_WINDOW_BYTES)
+        self._trim_send_buffer()
+        if self.snd_una >= self.snd_max:
+            self._cancel_retransmit()
+            self._on_all_acked()
+        else:
+            self._arm_retransmit()
+        self._pump()
+
+    def _trim_send_buffer(self) -> None:
+        base = self.iss + 1
+        self._send_buffer = [
+            item for item in self._send_buffer
+            if base + item.offset + (1 if item.fin else item.data.size_bytes)
+            > self.snd_una
+        ]
+
+    def _on_all_acked(self) -> None:
+        if self.state == TCPState.FIN_WAIT_1 and self._fin_queued:
+            self.state = TCPState.FIN_WAIT_2
+        elif self.state == TCPState.LAST_ACK:
+            self._teardown()
+
+    def _process_payload(self, segment: TCPSegment) -> None:
+        has_fin = FLAG_FIN in segment.flags
+        length = segment.payload.size_bytes
+        if length == 0 and not has_fin:
+            return
+        if segment.seq != self.rcv_nxt:
+            # Out of order or duplicate: re-ACK what we have (go-back-N).
+            self._send_ack()
+            return
+        if length > 0:
+            self.rcv_nxt += length
+            self.bytes_received += length
+            if self.on_data is not None:
+                self.on_data(segment.payload)
+        if has_fin:
+            self.rcv_nxt += 1
+            self._handle_fin()
+        self._send_ack()
+
+    def _handle_fin(self) -> None:
+        if self.state == TCPState.ESTABLISHED:
+            self.state = TCPState.CLOSE_WAIT
+        elif self.state == TCPState.FIN_WAIT_2:
+            self.state = TCPState.TIME_WAIT
+            self.sim.call_later(TIME_WAIT_DELAY, self._teardown,
+                                label=f"tcp-timewait:{self.local_port}")
+        elif self.state == TCPState.FIN_WAIT_1:
+            self.state = TCPState.TIME_WAIT
+            self.sim.call_later(TIME_WAIT_DELAY, self._teardown,
+                                label=f"tcp-timewait:{self.local_port}")
+        if self.on_close is not None:
+            callback, self.on_close = self.on_close, None
+            callback()
+
+    def _teardown(self) -> None:
+        self._cancel_retransmit()
+        previous, self.state = self.state, TCPState.CLOSED
+        if previous != TCPState.CLOSED:
+            self._service.forget(self)
+
+    def _describe(self) -> str:
+        return (f"{self.local_addr}:{self.local_port}<->"
+                f"{self.remote_addr}:{self.remote_port} {self.state.value}")
+
+
+class TCPError(RuntimeError):
+    """Raised on invalid TCP API usage."""
+
+
+class TCPListener:
+    """A passive socket waiting for connections on a port."""
+
+    def __init__(self, service: "TCPService", port: int,
+                 on_connection: Callable[[TCPConnection], None]) -> None:
+        self.service = service
+        self.port = port
+        self.on_connection = on_connection
+        self.closed = False
+
+    def close(self) -> None:
+        """Stop accepting; existing connections are unaffected."""
+        self.closed = True
+        self.service._listeners.pop(self.port, None)
+
+
+class TCPService:
+    """Per-host TCP: demux, connection table, transmission."""
+
+    EPHEMERAL_START = 33000
+
+    def __init__(self, sim: Simulator, host: "Host", config: Config,
+                 timings: HostTimings) -> None:
+        self.sim = sim
+        self.host = host
+        self.config = config
+        self.timings = timings
+        self._rng = sim.rng(f"tcp:{host.name}")
+        self._tx_fifo = FifoDelay(sim)
+        self._rx_fifo = FifoDelay(sim)
+        self._connections: Dict[ConnKey, TCPConnection] = {}
+        self._listeners: Dict[int, TCPListener] = {}
+        self._next_ephemeral = self.EPHEMERAL_START
+        host.ip.register_protocol(PROTO_TCP, self._receive)
+
+    # ------------------------------------------------------------- public API
+
+    def listen(self, port: int,
+               on_connection: Callable[[TCPConnection], None]) -> TCPListener:
+        """Accept connections on *port*; the callback gets each new one."""
+        if port in self._listeners:
+            raise TCPError(f"TCP port {port} already listening on {self.host.name}")
+        listener = TCPListener(self, port, on_connection)
+        self._listeners[port] = listener
+        return listener
+
+    def connect(self, remote_addr: IPAddress, remote_port: int,
+                src: IPAddress = UNSPECIFIED,
+                local_port: int = 0) -> TCPConnection:
+        """Open a connection; callbacks are set on the returned object.
+
+        An unspecified ``src`` lets ``ip_rt_route()`` choose — on a mobile
+        host that pins the connection to the home address, which is exactly
+        why it survives later moves.
+        """
+        if local_port == 0:
+            local_port = self._allocate_ephemeral(remote_addr, remote_port)
+        source = src
+        if source.is_unspecified:
+            route = self.host.ip.ip_rt_route(remote_addr, source)
+            if route is None:
+                raise TCPError(f"no route to {remote_addr}")
+            source = route.source
+        conn = TCPConnection(self, source, local_port, remote_addr, remote_port)
+        key = conn.key
+        if key in self._connections:
+            raise TCPError(f"connection {key} already exists")
+        self._connections[key] = conn
+        conn._open_active()
+        return conn
+
+    def _allocate_ephemeral(self, remote_addr: IPAddress, remote_port: int) -> int:
+        port = self._next_ephemeral
+        while (port, remote_addr, remote_port) in self._connections:
+            port += 1
+        self._next_ephemeral = port + 1
+        return port
+
+    # ---------------------------------------------------------------- plumbing
+
+    def forget(self, conn: TCPConnection) -> None:
+        """Drop a closed connection from the demux table."""
+        self._connections.pop(conn.key, None)
+
+    def transmit(self, conn: TCPConnection, segment: TCPSegment) -> None:
+        """Wrap a segment in IP and send it (with host tx cost)."""
+        packet = IPPacket(src=conn.local_addr, dst=conn.remote_addr,
+                          protocol=PROTO_TCP, payload=segment,
+                          ttl=self.config.default_ttl)
+        delay = jittered(self._rng, self.timings.tx_cost, self.config.jitter)
+        self._tx_fifo.schedule(delay, lambda: self.host.ip.send(packet),
+                               label=f"tcp-tx:{self.host.name}")
+
+    def _receive(self, packet: IPPacket, iface: "NetworkInterface") -> None:
+        segment = packet.payload
+        assert isinstance(segment, TCPSegment)
+        delay = jittered(self._rng, self.timings.rx_cost, self.config.jitter)
+        self._rx_fifo.schedule(delay, lambda: self._dispatch(packet, segment),
+                               label=f"tcp-rx:{self.host.name}")
+
+    def _dispatch(self, packet: IPPacket, segment: TCPSegment) -> None:
+        key = (segment.dst_port, packet.src, segment.src_port)
+        conn = self._connections.get(key)
+        if conn is not None:
+            conn.handle_segment(segment)
+            return
+        listener = self._listeners.get(segment.dst_port)
+        if listener is not None and not listener.closed and FLAG_SYN in segment.flags \
+                and FLAG_ACK not in segment.flags:
+            self._accept(listener, packet, segment)
+            return
+        if FLAG_RST not in segment.flags:
+            self._send_reset(packet, segment)
+
+    def _accept(self, listener: TCPListener, packet: IPPacket,
+                segment: TCPSegment) -> None:
+        conn = TCPConnection(self, packet.dst, segment.dst_port,
+                             packet.src, segment.src_port)
+        self._connections[conn.key] = conn
+        conn.state = TCPState.SYN_RECEIVED
+        conn.rcv_nxt = segment.seq + 1
+        listener.on_connection(conn)
+        conn._emit(flags=frozenset({FLAG_SYN, FLAG_ACK}), seq=conn.iss)
+        conn.snd_nxt = conn.iss + 1
+        conn._start_timing(conn.iss)
+        conn._arm_retransmit()
+
+    def _send_reset(self, packet: IPPacket, segment: TCPSegment) -> None:
+        reset = TCPSegment(src_port=segment.dst_port, dst_port=segment.src_port,
+                           seq=segment.ack, ack=segment.seq + segment.seq_space,
+                           flags=frozenset({FLAG_RST}))
+        response = IPPacket(src=packet.dst, dst=packet.src, protocol=PROTO_TCP,
+                            payload=reset, ttl=self.config.default_ttl)
+        self.sim.trace.emit("tcp", "reset_sent", host=self.host.name,
+                            segment=segment.describe())
+        self.host.ip.send(response)

@@ -1,0 +1,171 @@
+"""The discrete-event engine.
+
+A :class:`Simulator` is the single authority for virtual time.  Components
+never sleep or poll; they schedule callbacks with :meth:`Simulator.call_at`
+or :meth:`Simulator.call_later` and the engine runs them in timestamp order.
+Ties are broken by insertion order (FIFO), which keeps runs reproducible.
+
+The engine also owns randomness.  Components draw jitter, loss decisions and
+identifiers from named :class:`random.Random` streams handed out by
+:meth:`Simulator.rng`; two components asking for different stream names never
+perturb each other's sequences, so adding a new component does not change
+existing results.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.trace import Trace
+from repro.sim.units import SECOND
+
+#: Simulated time: an integer count of nanoseconds since simulation start.
+Time = int
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the engine (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events sort by ``(time, seq)``: earlier deadlines first, and among
+    equal deadlines the event scheduled first runs first.
+    """
+
+    time: Time
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Prevent the callback from running when its deadline arrives."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Master seed.  Every named RNG stream is derived from it, so a
+        simulation is fully determined by ``(seed, component behaviour)``.
+    trace:
+        Optional pre-built :class:`Trace`; a fresh one is created otherwise.
+    """
+
+    def __init__(self, seed: int = 0, trace: Optional[Trace] = None) -> None:
+        self._now: Time = 0
+        self._seq: int = 0
+        self._queue: List[Event] = []
+        self._seed = seed
+        self._rngs: Dict[str, random.Random] = {}
+        self.trace: Trace = trace if trace is not None else Trace(self)
+        self._running = False
+        self._events_run = 0
+
+    # ------------------------------------------------------------------ time
+
+    @property
+    def now(self) -> Time:
+        """Current virtual time in nanoseconds."""
+        return self._now
+
+    @property
+    def events_run(self) -> int:
+        """Number of callbacks executed so far (for harness statistics)."""
+        return self._events_run
+
+    # ------------------------------------------------------------ randomness
+
+    def rng(self, stream: str) -> random.Random:
+        """Return the named random stream, creating it on first use.
+
+        Streams are keyed by name and derived from the master seed, so the
+        sequence observed through one stream is independent of how many
+        other streams exist or how often they are used.
+        """
+        existing = self._rngs.get(stream)
+        if existing is not None:
+            return existing
+        derived = random.Random(f"{self._seed}/{stream}")
+        self._rngs[stream] = derived
+        return derived
+
+    # ------------------------------------------------------------ scheduling
+
+    def call_at(self, when: Time, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule *callback* to run at absolute time *when*."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule event {label!r} at {when} ns; "
+                f"it is already {self._now} ns"
+            )
+        event = Event(time=when, seq=self._seq, callback=callback, label=label)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_later(self, delay: Time, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule *callback* to run *delay* nanoseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} for event {label!r}")
+        return self.call_at(self._now + delay, callback, label)
+
+    # --------------------------------------------------------------- running
+
+    def run(self, until: Optional[Time] = None, max_events: Optional[int] = None) -> None:
+        """Run events in order until the queue drains.
+
+        Parameters
+        ----------
+        until:
+            Stop once virtual time would pass this bound.  Events scheduled
+            exactly at ``until`` still run; the clock is then advanced to
+            ``until`` so back-to-back ``run(until=...)`` calls tile time.
+        max_events:
+            Safety valve against runaway loops; raises if exceeded.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            while self._queue:
+                event = self._queue[0]
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                self._events_run += 1
+                if max_events is not None and self._events_run > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} (runaway simulation?)"
+                    )
+                event.callback()
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_for(self, duration: Time) -> None:
+        """Run for *duration* nanoseconds of virtual time from now."""
+        self.run(until=self._now + duration)
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Simulator t={self._now / SECOND:.6f}s pending={self.pending()} "
+            f"run={self._events_run}>"
+        )

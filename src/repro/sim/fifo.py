@@ -1,0 +1,38 @@
+"""FIFO-serialized processing delays.
+
+Per-packet software costs are jittered, and two packets handed to the same
+stage nanoseconds apart would otherwise race: whichever drew the smaller
+jitter would overtake the other.  Real network stacks don't reorder like
+that — a CPU (or a queue discipline) processes packets one at a time, in
+arrival order.  :class:`FifoDelay` models exactly that: work starts when
+the previous item finishes, so jitter stretches the pipeline but never
+reorders it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Event, Simulator
+
+
+class FifoDelay:
+    """A single-server queue for software processing stages."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._sim = sim
+        self._busy_until = 0
+
+    def schedule(self, delay: int, callback: Callable[[], None],
+                 label: str = "") -> "Event":
+        """Run *callback* after *delay* of service time, in FIFO order."""
+        start = max(self._sim.now, self._busy_until)
+        finish = start + max(delay, 0)
+        self._busy_until = finish
+        return self._sim.call_at(finish, callback, label)
+
+    @property
+    def backlog(self) -> int:
+        """Nanoseconds of queued work ahead of a new arrival (0 = idle)."""
+        return max(0, self._busy_until - self._sim.now)

@@ -1,0 +1,111 @@
+"""Structured event trace.
+
+The experiment harnesses (Figures 6 and 7, the same-subnet switch) need to
+reconstruct what happened and when: which packet was lost, when each
+registration stage started and ended.  Components emit trace records through
+``sim.trace.emit(category, event, **fields)``; harnesses filter them back out
+with :meth:`Trace.select`.
+
+The trace is append-only and deliberately dumb: no aggregation, no I/O.
+Keeping measurement outside the protocol code mirrors the paper's method of
+instrumenting the kernel with timestamps and post-processing off-line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence.
+
+    ``category`` is a coarse stream name (``"ip"``, ``"registration"``,
+    ``"handoff"`` ...), ``event`` the specific occurrence within it, and
+    ``fields`` free-form structured data.
+    """
+
+    time: int
+    category: str
+    event: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.fields[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Field lookup with a default (dict.get semantics)."""
+        return self.fields.get(key, default)
+
+
+class Trace:
+    """Append-only record sink bound to a simulator clock."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self._sim = sim
+        self._records: List[TraceRecord] = []
+        self.enabled = True
+
+    def emit(self, category: str, event: str, **fields: Any) -> None:
+        """Record *event* in *category* at the current virtual time."""
+        if not self.enabled:
+            return
+        self._records.append(
+            TraceRecord(time=self._sim.now, category=category, event=event, fields=fields)
+        )
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def select(
+        self,
+        category: Optional[str] = None,
+        event: Optional[str] = None,
+        since: Optional[int] = None,
+        **field_filters: Any,
+    ) -> List[TraceRecord]:
+        """Return records matching every given criterion.
+
+        ``field_filters`` match on equality against ``record.fields``; a
+        record lacking the key does not match.
+        """
+        out: List[TraceRecord] = []
+        for record in self._records:
+            if category is not None and record.category != category:
+                continue
+            if event is not None and record.event != event:
+                continue
+            if since is not None and record.time < since:
+                continue
+            if any(record.get(key, _MISSING) != value for key, value in field_filters.items()):
+                continue
+            out.append(record)
+        return out
+
+    def last(self, category: str, event: str) -> Optional[TraceRecord]:
+        """Most recent record matching ``(category, event)``, if any."""
+        for record in reversed(self._records):
+            if record.category == category and record.event == event:
+                return record
+        return None
+
+    def clear(self) -> None:
+        """Drop all records (harnesses call this between iterations)."""
+        self._records.clear()
+
+
+class _Missing:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<missing>"
+
+
+_MISSING = _Missing()

@@ -1,0 +1,5 @@
+"""The MosquitoNet test-bed (Figure 5) and movement scenarios."""
+
+from repro.testbed.topology import Addresses, Testbed, build_testbed
+
+__all__ = ["Addresses", "Testbed", "build_testbed"]

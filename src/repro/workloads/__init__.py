@@ -1,0 +1,11 @@
+"""Measurement workloads: the traffic the paper's experiments generate."""
+
+from repro.workloads.udp_echo import UdpEchoResponder, UdpEchoStream
+from repro.workloads.tcp_session import TcpBulkReceiver, TcpBulkSender
+
+__all__ = [
+    "UdpEchoResponder",
+    "UdpEchoStream",
+    "TcpBulkSender",
+    "TcpBulkReceiver",
+]

@@ -1,0 +1,113 @@
+"""A long-lived TCP session: the paper's "remote login" scenario.
+
+The introduction motivates seamless switching with applications that "run
+for extended periods of time and build up nontrivial state, such as remote
+logins with active processes."  This workload models that: a correspondent
+streams numbered chunks over one TCP connection to the mobile host, which
+acknowledges them at the application layer.  Handoffs in the middle must
+not break the connection — segments lost during the outage are recovered
+by TCP retransmission, and the connection's endpoints never change because
+the mobile host's end is the home address.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.net.addressing import IPAddress
+from repro.net.host import Host
+from repro.net.packet import AppData
+from repro.net.tcp import TCPConnection
+
+#: A telnet-ish service port.
+SESSION_PORT = 23
+#: Application payload per chunk.
+CHUNK_BYTES = 256
+
+
+class TcpBulkReceiver:
+    """Mobile-host side: accepts one session and records what arrives."""
+
+    def __init__(self, host: Host, port: int = SESSION_PORT) -> None:
+        self.host = host
+        self.port = port
+        self.received_chunks: List[int] = []
+        self.connection: Optional[TCPConnection] = None
+        self.closed = False
+        self._listener = host.tcp.listen(port, self._on_connection)
+
+    def _on_connection(self, conn: TCPConnection) -> None:
+        self.connection = conn
+        conn.on_data = self._on_data
+        conn.on_close = self._on_close
+
+    def _on_data(self, data: AppData) -> None:
+        content = data.content
+        if isinstance(content, tuple) and content[0] == "chunk":
+            self.received_chunks.append(content[1])
+
+    def _on_close(self) -> None:
+        self.closed = True
+
+    @property
+    def in_order(self) -> bool:
+        """True if chunks arrived exactly in sequence (TCP's promise)."""
+        return self.received_chunks == sorted(set(self.received_chunks))
+
+
+class TcpBulkSender:
+    """Correspondent side: opens the session and streams numbered chunks."""
+
+    def __init__(self, host: Host, target: IPAddress, interval: int,
+                 port: int = SESSION_PORT, chunk_bytes: int = CHUNK_BYTES) -> None:
+        self.host = host
+        self.sim = host.sim
+        self.target = target
+        self.interval = interval
+        self.chunk_bytes = chunk_bytes
+        self.sent_chunks = 0
+        self.established = False
+        self.reset = False
+        self._running = False
+        self._tick_event: Optional[object] = None
+        self.connection = host.tcp.connect(target, port)
+        self.connection.on_established = self._on_established
+        self.connection.on_reset = self._on_reset
+
+    def _on_established(self) -> None:
+        self.established = True
+        if self._running:
+            self._tick()
+
+    def _on_reset(self) -> None:
+        self.reset = True
+        self.stop()
+
+    def start(self) -> None:
+        """Start streaming (waits for the handshake if needed)."""
+        self._running = True
+        if self.established:
+            self._tick()
+
+    def stop(self) -> None:
+        """Pause the chunk stream (connection stays open)."""
+        self._running = False
+        if self._tick_event is not None:
+            self._tick_event.cancel()  # type: ignore[attr-defined]
+            self._tick_event = None
+
+    def finish(self) -> None:
+        """Stop streaming and close the connection cleanly."""
+        self.stop()
+        if not self.reset:
+            self.connection.close()
+
+    def _tick(self) -> None:
+        if not self._running or self.reset:
+            return
+        chunk = AppData(content=("chunk", self.sent_chunks),
+                        size_bytes=self.chunk_bytes)
+        self.connection.send(chunk)
+        self.sent_chunks += 1
+        self._tick_event = self.sim.call_later(self.interval, self._tick,
+                                               label="tcp-chunk")

@@ -1,0 +1,66 @@
+"""Shared fixtures: a simulator, a tiny LAN, and the paper's testbed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.net.addressing import MACAllocator, ip, subnet
+from repro.net.host import Host
+from repro.net.interface import EthernetInterface
+from repro.net.link import EthernetSegment
+from repro.sim import Simulator, ms
+from repro.testbed import build_testbed
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator(seed=1234)
+
+
+class Lan:
+    """A two-host Ethernet LAN used by many unit tests.
+
+    ``lan.a`` is 10.0.0.1 and ``lan.b`` is 10.0.0.2 on 10.0.0.0/24; the
+    helper ``lan.host(addr)`` adds more hosts.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.config = DEFAULT_CONFIG
+        self.net = subnet("10.0.0.0/24")
+        self.macs = MACAllocator()
+        self.segment = EthernetSegment(sim, "lan", self.config.ethernet)
+        self.a = self.host("10.0.0.1", "a")
+        self.b = self.host("10.0.0.2", "b")
+
+    def host(self, address: str, name: str = "") -> Host:
+        label = name or f"h{address.rsplit('.', 1)[-1]}"
+        node = Host(self.sim, label, self.config)
+        iface = EthernetInterface(self.sim, f"eth.{label}",
+                                  self.macs.allocate(), self.config)
+        node.add_interface(iface)
+        iface.attach(self.segment)
+        node.configure_interface(iface, ip(address), self.net)
+        return node
+
+    def run(self, duration_ms: float = 1000) -> None:
+        self.sim.run_for(ms(duration_ms))
+
+
+@pytest.fixture
+def lan(sim: Simulator) -> Lan:
+    return Lan(sim)
+
+
+@pytest.fixture
+def testbed():
+    simulator = Simulator(seed=77)
+    return build_testbed(simulator, with_remote_correspondent=False,
+                         with_dhcp=False)
+
+
+@pytest.fixture
+def full_testbed():
+    simulator = Simulator(seed=78)
+    return build_testbed(simulator)

@@ -1,0 +1,201 @@
+"""Failure injection: what breaks, what degrades, what recovers.
+
+The paper's architecture argument is largely about failure domains ("the
+foreign agent is no longer a single point of failure", "this is especially
+useful if the home agent is not reachable or has crashed").  These tests
+crash components mid-run and check that the system fails the way the
+paper says it should.
+"""
+
+from repro.core.policy import RoutingMode
+from repro.net.addressing import ip
+from repro.net.interface import InterfaceState
+from repro.sim import Simulator, ms, s
+from repro.testbed import build_testbed
+from repro.workloads import UdpEchoResponder, UdpEchoStream
+
+HOME = ip("36.135.0.10")
+
+
+def crash(host) -> None:
+    """Take every non-loopback interface of *host* down instantly."""
+    for iface in host.interfaces:
+        if iface.name.startswith("lo."):
+            continue
+        iface.state = InterfaceState.DOWN
+
+
+def revive(host) -> None:
+    for iface in host.interfaces:
+        iface.state = InterfaceState.UP
+
+
+def test_home_agent_crash_breaks_tunnels_but_not_local_role():
+    """Section 5.2: direct (local-role) communication "is especially
+    useful if the home agent is not reachable or has crashed"."""
+    sim = Simulator(seed=201)
+    testbed = build_testbed(sim, with_remote_correspondent=False,
+                            with_dhcp=False, separate_home_agent=True)
+    care_of = testbed.visit_dept()
+    sim.run_for(s(1))
+    crash(testbed.home_agent_host)
+
+    # Home-role traffic dies (proxy ARP answered by a corpse).
+    UdpEchoResponder(testbed.mobile)
+    home_stream = UdpEchoStream(testbed.correspondent, HOME,
+                                interval=ms(100))
+    home_stream.start()
+    sim.run_for(s(1))
+    home_stream.stop()
+    sim.run_for(s(5))
+    assert home_stream.received == 0
+
+    # Local-role traffic is untouched: the correspondent reaches the
+    # care-of address directly.
+    results = []
+    testbed.correspondent.icmp.ping(care_of, on_reply=results.append,
+                                    on_timeout=lambda: results.append(None))
+    sim.run_for(s(2))
+    assert results and results[0] is not None
+
+    # And the MH can still talk out directly, ignoring mobile IP.
+    testbed.mobile.policy.set_policy(testbed.addresses.ch_dept,
+                                     RoutingMode.LOCAL)
+    direct = UdpEchoStream(testbed.mobile, testbed.addresses.ch_dept,
+                           interval=ms(100))
+    UdpEchoResponder(testbed.correspondent)
+    direct.start()
+    sim.run_for(s(1))
+    direct.stop()
+    sim.run_for(s(1))
+    assert direct.received == direct.sent
+
+
+def test_home_agent_restart_recovers_after_reregistration():
+    """A rebooted home agent has lost its bindings; the mobile host's
+    periodic re-registration restores service."""
+    sim = Simulator(seed=202)
+    testbed = build_testbed(sim, with_remote_correspondent=False,
+                            with_dhcp=False)
+    testbed.visit_dept()
+    sim.run_for(s(1))
+
+    # "Reboot": drop all bindings and intercept state.
+    agent = testbed.home_agent
+    binding = agent.bindings.get(HOME)
+    assert binding is not None
+    agent.bindings.deregister(HOME)
+    agent._remove_intercept(HOME)
+
+    UdpEchoResponder(testbed.mobile)
+    stream = UdpEchoStream(testbed.correspondent, HOME, interval=ms(200))
+    stream.start()
+    sim.run_for(s(2))
+    lost_before_recovery = stream.lost_count()
+    assert lost_before_recovery > 0  # service really was down
+
+    testbed.mobile.register_current()  # the periodic re-registration
+    sim.run_for(s(3))
+    stream.stop()
+    sim.run_for(s(1))
+    # Traffic flows again after recovery.
+    recent_losses = stream.lost_sequences(since=s(4))
+    assert recent_losses == []
+
+
+def test_registration_survives_lossy_radio():
+    """Retransmission carries the registration through a bad radio patch."""
+    sim = Simulator(seed=203)
+    config = None
+    from repro.config import DEFAULT_CONFIG, LinkTimings
+    from repro.sim.units import KBPS, ms as ms_
+
+    config = DEFAULT_CONFIG.with_overrides(
+        radio=LinkTimings(latency=ms_(78), bandwidth_bps=34 * KBPS,
+                          loss_rate=0.35))
+    testbed = build_testbed(sim, config, with_remote_correspondent=False,
+                            with_dhcp=False)
+    outcomes = []
+    testbed.unplug_ethernet()
+    testbed.connect_radio(register=False)
+    testbed.mobile.start_visiting(
+        testbed.mh_radio, testbed.addresses.mh_radio,
+        testbed.addresses.radio_net, testbed.addresses.router_radio,
+        register=False)
+    testbed.mobile.register_current(on_registered=outcomes.append,
+                                    on_failed=lambda: outcomes.append(None))
+    sim.run_for(s(10))
+    assert outcomes, "registration neither completed nor failed"
+    # With 35% loss per air crossing and 4 transmissions, success is the
+    # overwhelmingly likely outcome — and when it succeeds, it took
+    # retransmissions.
+    outcome = outcomes[0]
+    if outcome is not None:
+        assert outcome.accepted
+
+
+def test_registration_gives_up_when_home_network_unreachable():
+    sim = Simulator(seed=204)
+    testbed = build_testbed(sim, with_remote_correspondent=False,
+                            with_dhcp=False)
+    testbed.visit_dept(register=False)
+    crash(testbed.router)
+    failures = []
+    testbed.mobile.register_current(
+        on_registered=lambda outcome: failures.append("accepted"),
+        on_failed=lambda: failures.append("failed"))
+    sim.run_for(s(15))
+    assert failures == ["failed"]
+
+
+def test_dhcp_outage_does_not_break_static_addressing():
+    """If the DHCP server is down, a statically configured care-of
+    address still works (the paper: addresses 'could be assigned by
+    hand')."""
+    sim = Simulator(seed=205)
+    testbed = build_testbed(sim)  # with DHCP
+    crash(testbed.dhcp_server.host)
+    dhcp_outcomes = []
+    testbed.move_mh_cable(testbed.dept_segment)
+    testbed.mh_eth.remove_address(HOME)
+    testbed.mobile.ip.routes.remove_matching(interface=testbed.mh_eth)
+    testbed.mh_eth.subnet = testbed.addresses.dept_net
+    testbed.mh_dhcp.acquire(
+        on_bound=lambda lease: dhcp_outcomes.append("bound"),
+        on_failed=lambda: dhcp_outcomes.append("failed"),
+        timeout=ms(2000))
+    sim.run_for(s(4))
+    assert dhcp_outcomes == ["failed"]
+
+    # Fall back to the hand-assigned address.
+    registered = []
+    testbed.mobile.start_visiting(
+        testbed.mh_eth, testbed.addresses.mh_dept_care_of,
+        testbed.addresses.dept_net, testbed.addresses.router_dept,
+        on_registered=registered.append)
+    sim.run_for(s(2))
+    assert registered and registered[0].accepted
+
+
+def test_tcp_survives_repeated_flapping():
+    """Five consecutive interface flaps; the session delivers everything."""
+    from repro.workloads import TcpBulkReceiver, TcpBulkSender
+
+    sim = Simulator(seed=206)
+    testbed = build_testbed(sim, with_remote_correspondent=False,
+                            with_dhcp=False)
+    testbed.visit_dept()
+    sim.run_for(s(1))
+    receiver = TcpBulkReceiver(testbed.mobile)
+    sender = TcpBulkSender(testbed.correspondent, HOME, interval=ms(150))
+    sender.start()
+    sim.run_for(s(1))
+    for _ in range(5):
+        testbed.mh_eth.state = InterfaceState.DOWN
+        sim.run_for(ms(700))
+        testbed.mh_eth.state = InterfaceState.UP
+        sim.run_for(ms(1300))
+    sender.finish()
+    sim.run_for(s(60))
+    assert not sender.reset
+    assert receiver.received_chunks == list(range(sender.sent_chunks))

@@ -1,0 +1,132 @@
+"""Unit tests for registration authentication (the Section 5.1 extension)."""
+
+import pytest
+
+from repro.core.auth import (
+    CODE_DENIED_AUTHENTICATION,
+    AuthenticatedRegistrationSigner,
+    RegistrationAuthenticator,
+    compute_authenticator,
+)
+from repro.core.registration import RegistrationRequest
+from repro.net.addressing import ip
+from repro.sim import s
+
+HOME = ip("36.135.0.10")
+CARE_OF = ip("36.8.0.50")
+AGENT = ip("36.135.0.1")
+KEY = b"a shared secret"
+
+
+def request(ident=1, care_of=CARE_OF, lifetime=s(60), authenticator=None):
+    return RegistrationRequest(home_address=HOME, care_of_address=care_of,
+                               home_agent=AGENT, lifetime=lifetime,
+                               identification=ident,
+                               authenticator=authenticator)
+
+
+class TestMac:
+    def test_mac_is_deterministic(self):
+        assert compute_authenticator(KEY, request()) == \
+            compute_authenticator(KEY, request())
+
+    def test_mac_depends_on_every_protected_field(self):
+        base = compute_authenticator(KEY, request())
+        assert compute_authenticator(KEY, request(ident=2)) != base
+        assert compute_authenticator(KEY, request(care_of=ip("1.2.3.4"))) != base
+        assert compute_authenticator(KEY, request(lifetime=s(30))) != base
+
+    def test_mac_depends_on_key(self):
+        assert compute_authenticator(KEY, request()) != \
+            compute_authenticator(b"other", request())
+
+
+class TestVerification:
+    def test_unprovisioned_hosts_pass_unauthenticated(self):
+        verifier = RegistrationAuthenticator()
+        assert verifier.verify(request())
+
+    def test_provisioned_host_requires_valid_mac(self):
+        verifier = RegistrationAuthenticator()
+        verifier.provision(HOME, KEY)
+        assert not verifier.verify(request())  # no MAC at all
+        assert verifier.rejected_bad_mac == 1
+        signed = AuthenticatedRegistrationSigner(KEY).sign(request())
+        assert verifier.verify(signed)
+
+    def test_forged_mac_rejected(self):
+        verifier = RegistrationAuthenticator()
+        verifier.provision(HOME, KEY)
+        forged = AuthenticatedRegistrationSigner(b"wrong key").sign(request())
+        assert not verifier.verify(forged)
+        assert verifier.rejected_bad_mac == 1
+
+    def test_replays_rejected(self):
+        verifier = RegistrationAuthenticator()
+        verifier.provision(HOME, KEY)
+        signer = AuthenticatedRegistrationSigner(KEY)
+        first = signer.sign(request(ident=5))
+        assert verifier.verify(first)
+        assert not verifier.verify(first)  # byte-for-byte replay
+        assert verifier.rejected_replay == 1
+        # Older identifications are also rejected.
+        stale = signer.sign(request(ident=4))
+        assert not verifier.verify(stale)
+        # Newer ones proceed.
+        fresh = signer.sign(request(ident=6))
+        assert verifier.verify(fresh)
+
+    def test_revoke_restores_open_policy(self):
+        verifier = RegistrationAuthenticator()
+        verifier.provision(HOME, KEY)
+        verifier.revoke(HOME)
+        assert verifier.verify(request())
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ValueError):
+            RegistrationAuthenticator().provision(HOME, b"")
+        with pytest.raises(ValueError):
+            AuthenticatedRegistrationSigner(b"")
+
+
+class TestEndToEnd:
+    def test_fraudulent_registration_denied_by_home_agent(self, testbed):
+        """The attack the paper names: a malicious fraudulent registration
+        hijacking the mobile host's traffic."""
+        agent = testbed.home_agent
+        verifier = RegistrationAuthenticator()
+        verifier.provision(HOME, KEY)
+        agent.authenticator = verifier
+        AuthenticatedRegistrationSigner(KEY).install(
+            testbed.mobile.registration)
+
+        # The legitimate mobile host registers fine.
+        outcomes = []
+        testbed.visit_dept(on_registered=outcomes.append)
+        testbed.sim.run_for(s(2))
+        assert outcomes and outcomes[0].accepted
+
+        # An attacker on the department net tries to steal the binding.
+        from repro.core.registration import REGISTRATION_PORT
+
+        attacker_socket = testbed.correspondent.udp.open(0)
+        fraud = request(ident=10_000, care_of=ip("36.8.0.20"))
+        attacker_socket.sendto(fraud.wrap(), agent.address,
+                               REGISTRATION_PORT)
+        testbed.sim.run_for(s(1))
+        # Binding unchanged; denial traced.
+        assert agent.current_care_of(HOME) == testbed.addresses.mh_dept_care_of
+        assert testbed.sim.trace.select("registration", "auth_failed")
+
+    def test_denial_code_is_authentication_specific(self, testbed):
+        agent = testbed.home_agent
+        verifier = RegistrationAuthenticator()
+        verifier.provision(HOME, KEY)
+        agent.authenticator = verifier
+        # The MH did NOT get a signer: its own registrations now fail
+        # with the authentication code (mirrors a key mismatch).
+        outcomes = []
+        testbed.visit_dept(on_registered=outcomes.append)
+        testbed.sim.run_for(s(2))
+        assert outcomes and not outcomes[0].accepted
+        assert outcomes[0].reply.code == CODE_DENIED_AUTHENTICATION

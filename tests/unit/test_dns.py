@@ -1,0 +1,156 @@
+"""Unit tests for the DNS substrate (the Section 8 release component)."""
+
+import pytest
+
+from repro.net.addressing import ip
+from repro.net.dns import (
+    DNSResolver,
+    DNSServer,
+    send_dynamic_update,
+)
+from repro.sim import ms, s
+
+
+@pytest.fixture
+def dns(lan):
+    """Server on host b for zone mosquitonet.stanford.edu; resolver on a."""
+    server = DNSServer(lan.b, "mosquitonet.stanford.edu")
+    server.add_record("mh.mosquitonet.stanford.edu", ip("36.135.0.10"))
+    resolver = DNSResolver(lan.a, ip("10.0.0.2"))
+    return lan, server, resolver
+
+
+def test_query_resolves_a_record(dns):
+    lan, _server, resolver = dns
+    answers = []
+    resolver.resolve("mh.mosquitonet.stanford.edu", answers.append)
+    lan.run(2000)
+    assert answers == [ip("36.135.0.10")]
+
+
+def test_names_are_case_insensitive_and_dot_tolerant(dns):
+    lan, _server, resolver = dns
+    answers = []
+    resolver.resolve("MH.MosquitoNet.Stanford.EDU.", answers.append)
+    lan.run(2000)
+    assert answers == [ip("36.135.0.10")]
+
+
+def test_nxdomain_yields_none(dns):
+    lan, _server, resolver = dns
+    answers = []
+    resolver.resolve("nope.mosquitonet.stanford.edu", answers.append)
+    lan.run(2000)
+    assert answers == [None]
+
+
+def test_cache_hit_avoids_the_wire(dns):
+    lan, server, resolver = dns
+    answers = []
+    resolver.resolve("mh.mosquitonet.stanford.edu", answers.append)
+    lan.run(2000)
+    wire_queries = resolver.queries_sent
+    resolver.resolve("mh.mosquitonet.stanford.edu", answers.append)
+    lan.run(2000)
+    assert answers == [ip("36.135.0.10")] * 2
+    assert resolver.queries_sent == wire_queries
+    assert resolver.cache_hits == 1
+
+
+def test_cache_expires_with_ttl(dns):
+    lan, server, resolver = dns
+    server.add_record("short.mosquitonet.stanford.edu", ip("36.135.0.20"),
+                      ttl=s(2))
+    answers = []
+    resolver.resolve("short.mosquitonet.stanford.edu", answers.append)
+    lan.run(1000)
+    lan.sim.run_for(s(3))
+    wire_before = resolver.queries_sent
+    resolver.resolve("short.mosquitonet.stanford.edu", answers.append)
+    lan.run(2000)
+    assert resolver.queries_sent == wire_before + 1  # cache was stale
+
+
+def test_resolver_retransmits_then_gives_up(lan):
+    resolver = DNSResolver(lan.a, ip("10.0.0.99"))  # no server there
+    answers = []
+    resolver.resolve("mh.mosquitonet.stanford.edu", answers.append)
+    lan.sim.run_for(s(10))
+    assert answers == [None]
+    assert resolver.queries_sent == DNSResolver.MAX_ATTEMPTS
+
+
+class TestDynamicUpdate:
+    def test_authorized_update_changes_the_zone(self, dns):
+        lan, server, resolver = dns
+        server.allow_updates_from(ip("10.0.0.1"))
+        acks = []
+        send_dynamic_update(lan.a, ip("10.0.0.2"),
+                            "new.mosquitonet.stanford.edu",
+                            ip("36.135.0.30"), on_ack=acks.append)
+        lan.run(2000)
+        assert acks == [True]
+        assert server.lookup("new.mosquitonet.stanford.edu").address == \
+            ip("36.135.0.30")
+        assert server.updates_applied == 1
+
+    def test_unauthorized_update_refused(self, dns):
+        lan, server, _resolver = dns
+        acks = []
+        send_dynamic_update(lan.a, ip("10.0.0.2"),
+                            "evil.mosquitonet.stanford.edu",
+                            ip("6.6.6.6"), on_ack=acks.append)
+        lan.run(2000)
+        assert acks == [False]
+        assert server.lookup("evil.mosquitonet.stanford.edu") is None
+        assert server.updates_refused == 1
+
+    def test_out_of_zone_update_refused(self, dns):
+        lan, server, _resolver = dns
+        server.allow_updates_from(ip("10.0.0.1"))
+        acks = []
+        send_dynamic_update(lan.a, ip("10.0.0.2"), "victim.example.com",
+                            ip("6.6.6.6"), on_ack=acks.append)
+        lan.run(2000)
+        assert acks == [False]
+
+    def test_delete_via_none_address(self, dns):
+        lan, server, _resolver = dns
+        server.allow_updates_from(ip("10.0.0.1"))
+        acks = []
+        send_dynamic_update(lan.a, ip("10.0.0.2"),
+                            "mh.mosquitonet.stanford.edu", None,
+                            on_ack=acks.append)
+        lan.run(2000)
+        assert acks == [True]
+        assert server.lookup("mh.mosquitonet.stanford.edu") is None
+
+
+def test_name_to_mobile_host_end_to_end(testbed):
+    """The architectural point: applications resolve a *name* to the
+    stable home address, then mobility is someone else's problem."""
+    from repro.workloads import UdpEchoResponder, UdpEchoStream
+
+    server = DNSServer(testbed.home_agent_host, "mosquitonet.stanford.edu")
+    server.add_record("mh.mosquitonet.stanford.edu",
+                      testbed.addresses.mh_home)
+    resolver = DNSResolver(testbed.correspondent,
+                           testbed.home_agent.address)
+    testbed.visit_dept()
+    testbed.sim.run_for(s(1))
+
+    UdpEchoResponder(testbed.mobile)
+    streams = []
+
+    def connected(address):
+        assert address == testbed.addresses.mh_home
+        stream = UdpEchoStream(testbed.correspondent, address,
+                               interval=ms(100))
+        stream.start()
+        streams.append(stream)
+
+    resolver.resolve("mh.mosquitonet.stanford.edu", connected)
+    testbed.sim.run_for(s(2))
+    streams[0].stop()
+    testbed.sim.run_for(s(1))
+    assert streams[0].received == streams[0].sent

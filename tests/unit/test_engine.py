@@ -1,0 +1,159 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Simulator, ms
+from repro.sim.engine import SimulationError
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.call_at(ms(30), lambda: order.append("c"))
+    sim.call_at(ms(10), lambda: order.append("a"))
+    sim.call_at(ms(20), lambda: order.append("b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_simultaneous_events_run_fifo():
+    sim = Simulator()
+    order = []
+    for index in range(10):
+        sim.call_at(ms(5), lambda index=index: order.append(index))
+    sim.run()
+    assert order == list(range(10))
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.call_at(ms(42), lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [ms(42)]
+
+
+def test_call_later_is_relative_to_now():
+    sim = Simulator()
+    times = []
+
+    def first():
+        sim.call_later(ms(5), lambda: times.append(sim.now))
+
+    sim.call_at(ms(10), first)
+    sim.run()
+    assert times == [ms(15)]
+
+
+def test_cancelled_events_do_not_run():
+    sim = Simulator()
+    ran = []
+    event = sim.call_at(ms(10), lambda: ran.append(1))
+    event.cancel()
+    sim.run()
+    assert ran == []
+
+
+def test_run_until_stops_and_tiles():
+    sim = Simulator()
+    ran = []
+    sim.call_at(ms(10), lambda: ran.append("early"))
+    sim.call_at(ms(100), lambda: ran.append("late"))
+    sim.run(until=ms(50))
+    assert ran == ["early"]
+    assert sim.now == ms(50)
+    sim.run(until=ms(150))
+    assert ran == ["early", "late"]
+
+
+def test_event_exactly_at_until_boundary_runs():
+    sim = Simulator()
+    ran = []
+    sim.call_at(ms(50), lambda: ran.append(1))
+    sim.run(until=ms(50))
+    assert ran == [1]
+
+
+def test_run_for_advances_duration():
+    sim = Simulator()
+    sim.run_for(ms(25))
+    sim.run_for(ms(25))
+    assert sim.now == ms(50)
+
+
+def test_scheduling_in_the_past_raises():
+    sim = Simulator()
+    sim.call_at(ms(10), lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(ms(5), lambda: None)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_later(-1, lambda: None)
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.call_at(ms(1), reenter)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_max_events_guard_trips_on_runaway():
+    sim = Simulator()
+
+    def loop():
+        sim.call_later(1, loop)
+
+    sim.call_later(1, loop)
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_pending_counts_live_events():
+    sim = Simulator()
+    keep = sim.call_at(ms(10), lambda: None)
+    gone = sim.call_at(ms(20), lambda: None)
+    gone.cancel()
+    assert sim.pending() == 1
+    assert keep is not None
+
+
+def test_rng_streams_are_independent_and_deterministic():
+    sim1 = Simulator(seed=5)
+    sim2 = Simulator(seed=5)
+    a1 = [sim1.rng("a").random() for _ in range(5)]
+    # Interleave another stream in sim2; stream "a" must not shift.
+    rng_a = sim2.rng("a")
+    rng_b = sim2.rng("b")
+    a2 = []
+    for _ in range(5):
+        a2.append(rng_a.random())
+        rng_b.random()
+    assert a1 == a2
+
+
+def test_rng_streams_differ_by_name_and_seed():
+    sim = Simulator(seed=5)
+    assert sim.rng("a").random() != sim.rng("b").random()
+    other = Simulator(seed=6)
+    assert Simulator(seed=5).rng("a").random() != other.rng("a").random()
+
+
+def test_events_run_counter():
+    sim = Simulator()
+    for index in range(7):
+        sim.call_at(ms(index), lambda: None)
+    sim.run()
+    assert sim.events_run == 7

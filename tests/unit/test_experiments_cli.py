@@ -1,0 +1,28 @@
+"""Unit tests for the experiments command-line runner."""
+
+import pytest
+
+from repro.experiments.__main__ import RUNNERS, main
+
+
+def test_unknown_experiment_id_is_an_error(capsys):
+    assert main(["nope"]) == 2
+    assert "unknown experiment ids" in capsys.readouterr().err
+
+
+def test_single_experiment_runs_and_prints(capsys):
+    assert main(["f7"]) == 0
+    out = capsys.readouterr().out
+    assert "Registration time-line" in out
+    assert "4.79" in out  # the paper column is present
+
+
+def test_ids_are_case_insensitive(capsys):
+    assert main(["F7"]) == 0
+
+
+def test_runner_table_covers_all_documented_ids():
+    assert set(RUNNERS) == {"e1", "f6", "f7", "f3", "a1", "x1", "x2", "x3"}
+    for name, (title, runner) in RUNNERS.items():
+        assert callable(runner)
+        assert title

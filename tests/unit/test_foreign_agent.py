@@ -1,0 +1,119 @@
+"""Unit tests for the foreign-agent baseline."""
+
+import pytest
+
+from repro.net.addressing import ip
+from repro.sim import Simulator, ms, s
+from repro.testbed import build_testbed
+from repro.workloads import UdpEchoResponder, UdpEchoStream
+
+HOME = ip("36.135.0.10")
+
+
+@pytest.fixture
+def fa_testbed():
+    sim = Simulator(seed=321)
+    testbed = build_testbed(sim, with_remote_correspondent=False,
+                            with_dhcp=False, with_foreign_agent=True)
+    return testbed
+
+
+def attach(testbed):
+    """Attach the MH to net 36.8 through the Ethernet foreign agent."""
+    fa = testbed.foreign_agent
+    testbed.move_mh_cable(testbed.dept_segment)
+    testbed.mh_eth.remove_address(HOME)
+    testbed.mobile.ip.routes.remove_matching(interface=testbed.mh_eth)
+    outcomes = []
+    testbed.mobile.attach_via_foreign_agent(
+        testbed.mh_eth, fa.care_of_address, testbed.addresses.dept_net,
+        on_registered=outcomes.append)
+    testbed.sim.run_for(s(2))
+    return fa, outcomes
+
+
+def test_registration_is_relayed_and_binding_points_at_fa(fa_testbed):
+    fa, outcomes = attach(fa_testbed)
+    assert outcomes and outcomes[0].accepted
+    assert fa.requests_relayed == 1
+    assert fa.replies_relayed == 1
+    assert fa_testbed.home_agent.current_care_of(HOME) == fa.care_of_address
+    assert fa.visitor_count() == 1
+
+
+def test_visitor_route_is_on_link(fa_testbed):
+    fa, _ = attach(fa_testbed)
+    visitor = fa.visitor(HOME)
+    assert visitor is not None and visitor.route is not None
+    assert visitor.route.interface is fa.interface
+    assert visitor.route.gateway is None
+
+
+def test_traffic_flows_through_the_fa(fa_testbed):
+    fa, _ = attach(fa_testbed)
+    UdpEchoResponder(fa_testbed.mobile)
+    stream = UdpEchoStream(fa_testbed.correspondent, HOME, interval=ms(100))
+    stream.start()
+    fa_testbed.sim.run_for(s(2))
+    stream.stop()
+    fa_testbed.sim.run_for(s(1))
+    assert stream.received == stream.sent
+    # Every inbound packet was decapsulated by the FA's host.
+    assert fa.host.ipip.packets_decapsulated >= stream.sent
+
+
+def test_mobile_host_keeps_only_home_address(fa_testbed):
+    attach(fa_testbed)
+    assert fa_testbed.mh_eth.owns_address(HOME)
+    assert fa_testbed.mh_eth.addresses == [HOME]
+
+
+def test_deregistration_after_returning_home_drops_binding(fa_testbed):
+    """Deregistration happens once the MH is back on its home link (it
+    must be there to receive the reply at the home address)."""
+    fa, _ = attach(fa_testbed)
+    outcomes = []
+    fa_testbed.move_mh_cable(fa_testbed.home_segment)
+    fa_testbed.mobile.come_home(fa_testbed.mh_eth,
+                                gateway=fa_testbed.addresses.router_home,
+                                on_done=outcomes.append)
+    fa_testbed.sim.run_for(s(2))
+    assert outcomes and outcomes[0].accepted
+    assert fa_testbed.home_agent.current_care_of(HOME) is None
+
+
+def test_departure_forwarding_retunnels(fa_testbed):
+    fa, _ = attach(fa_testbed)
+    # The visitor moves to the radio network with a collocated care-of.
+    fa_testbed.connect_radio(register=True)
+    fa.notify_departure(HOME, fa_testbed.addresses.mh_radio)
+    fa_testbed.sim.run_for(s(1))
+    # The old on-link route is replaced by a VIF route.
+    visitor = fa.visitor(HOME)
+    assert visitor.departed
+    assert visitor.route.interface is fa.vif
+    # A late tunneled packet for the visitor is re-tunneled, not dropped.
+    UdpEchoResponder(fa_testbed.mobile)
+    stream = UdpEchoStream(fa_testbed.correspondent, HOME, interval=ms(200))
+    # Force the stale path: re-point the HA binding at the FA briefly.
+    fa_testbed.home_agent.bindings.register(HOME, fa.care_of_address, s(60))
+    stream.start()
+    fa_testbed.sim.run_for(ms(900))
+    stream.stop()
+    fa_testbed.sim.run_for(s(2))
+    assert fa.packets_forwarded_after_departure > 0
+    assert stream.received > 0
+
+
+def test_departure_without_forwarding_drops(fa_testbed):
+    fa, _ = attach(fa_testbed)
+    fa.notify_departure(HOME, None)
+    visitor = fa.visitor(HOME)
+    assert visitor.departed and visitor.route is None
+
+
+def test_grace_period_expires_visitor(fa_testbed):
+    fa, _ = attach(fa_testbed)
+    fa.notify_departure(HOME, fa_testbed.addresses.mh_radio, grace=s(2))
+    fa_testbed.sim.run_for(s(3))
+    assert fa.visitor(HOME) is None

@@ -1,0 +1,87 @@
+"""Unit tests for the experiment harness utilities."""
+
+import pytest
+
+from repro.experiments.harness import (
+    Stats,
+    format_histogram,
+    format_table,
+    histogram,
+    spread_phases,
+    summarize,
+    summarize_ms,
+)
+from repro.sim import ms
+
+
+class TestSummarize:
+    def test_empty_input(self):
+        stats = summarize([])
+        assert stats.count == 0
+        assert stats.mean == 0.0 and stats.std == 0.0
+
+    def test_single_value_has_zero_std(self):
+        stats = summarize([7.0])
+        assert stats.mean == 7.0
+        assert stats.std == 0.0
+        assert stats.minimum == stats.maximum == 7.0
+
+    def test_known_distribution(self):
+        stats = summarize([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert stats.mean == pytest.approx(5.0)
+        # Sample std of this classic example is ~2.138.
+        assert stats.std == pytest.approx(2.138, abs=0.01)
+        assert stats.minimum == 2.0 and stats.maximum == 9.0
+
+    def test_summarize_ms_converts_nanoseconds(self):
+        stats = summarize_ms([ms(5), ms(7)])
+        assert stats.mean == pytest.approx(6.0)
+
+    def test_format_ms_is_paper_style(self):
+        stats = Stats(count=10, mean=7.392, std=0.181, minimum=7.0,
+                      maximum=7.8)
+        assert stats.format_ms() == "7.39 (0.18)"
+
+
+class TestHistogram:
+    def test_counts_occurrences_sorted(self):
+        assert histogram([1, 0, 1, 4, 0, 0]) == {0: 3, 1: 2, 4: 1}
+
+    def test_format_histogram_bars(self):
+        text = format_histogram({0: 3, 1: 1})
+        assert "0 packets lost: ### (3)" in text
+        assert "1 packets lost: # (1)" in text
+
+    def test_format_empty_histogram(self):
+        assert format_histogram({}) == "(no data)"
+
+
+class TestFormatTable:
+    def test_columns_align(self):
+        text = format_table(("name", "value"),
+                            [("short", 1), ("a-much-longer-name", 22)])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        header, rule = lines[0], lines[1]
+        assert header.startswith("name")
+        assert set(rule) <= {"-", " "}
+        # Every "value" column starts at the same offset.
+        offset = header.index("value")
+        assert lines[2][offset - 1] == " "
+
+    def test_handles_non_string_cells(self):
+        text = format_table(("a",), [(3.14,), (None,)])
+        assert "3.14" in text and "None" in text
+
+
+class TestSpreadPhases:
+    def test_phases_cover_one_interval_uniformly(self):
+        phases = spread_phases(10, ms(10), base_ns=ms(100))
+        assert len(phases) == 10
+        assert phases[0] == ms(100)
+        assert phases[-1] == ms(100) + 9 * ms(10) // 10
+        deltas = [b - a for a, b in zip(phases, phases[1:])]
+        assert all(delta == ms(1) for delta in deltas)
+
+    def test_single_iteration(self):
+        assert spread_phases(1, ms(10), base_ns=0) == [0]

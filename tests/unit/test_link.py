@@ -1,0 +1,185 @@
+"""Unit tests for the link media: Ethernet, point-to-point, radio."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG, LinkTimings
+from repro.net.addressing import ip
+from repro.net.packet import AppData, IPPacket, PROTO_UDP, UDPDatagram
+from repro.net.link import PointToPointLink, RadioChannel
+from repro.sim import MBPS, Simulator, ms, us
+
+
+def make_packet(size=100, src="1.1.1.1", dst="2.2.2.2"):
+    return IPPacket(src=ip(src), dst=ip(dst), protocol=PROTO_UDP,
+                    payload=UDPDatagram(1, 2, AppData("x", size - 28)))
+
+
+class FakeEndpoint:
+    def __init__(self):
+        self.received = []
+
+    def deliver_from_link(self, packet):
+        self.received.append(packet)
+
+
+class TestPointToPoint:
+    def test_delivery_with_latency_and_serialization(self):
+        sim = Simulator()
+        link = PointToPointLink(sim, "p2p",
+                                LinkTimings(latency=ms(1), bandwidth_bps=MBPS))
+        a, b = FakeEndpoint(), FakeEndpoint()
+        link.connect(a)
+        link.connect(b)
+        packet = make_packet(125)  # 125 B at 1 Mbit/s = 1 ms
+        link.transmit(packet, a)
+        sim.run_for(ms(1.9))
+        assert b.received == []
+        sim.run_for(ms(0.2))
+        assert b.received == [packet]
+        assert a.received == []
+
+    def test_serialization_queues_fifo(self):
+        sim = Simulator()
+        link = PointToPointLink(sim, "p2p",
+                                LinkTimings(latency=0, bandwidth_bps=MBPS))
+        a, b = FakeEndpoint(), FakeEndpoint()
+        link.connect(a)
+        link.connect(b)
+        first, second = make_packet(125), make_packet(125)
+        link.transmit(first, a)
+        link.transmit(second, a)
+        sim.run_for(ms(1.5))
+        assert b.received == [first]
+        sim.run_for(ms(1))
+        assert b.received == [first, second]
+
+    def test_directions_are_independent(self):
+        sim = Simulator()
+        link = PointToPointLink(sim, "p2p",
+                                LinkTimings(latency=0, bandwidth_bps=MBPS))
+        a, b = FakeEndpoint(), FakeEndpoint()
+        link.connect(a)
+        link.connect(b)
+        link.transmit(make_packet(125), a)
+        link.transmit(make_packet(125), b)
+        sim.run_for(ms(1.2))
+        # Full duplex: both arrive after one serialization, not two.
+        assert len(a.received) == 1 and len(b.received) == 1
+
+    def test_third_endpoint_rejected(self):
+        sim = Simulator()
+        link = PointToPointLink(sim, "p2p", DEFAULT_CONFIG.backbone)
+        link.connect(FakeEndpoint())
+        link.connect(FakeEndpoint())
+        with pytest.raises(ValueError):
+            link.connect(FakeEndpoint())
+
+    def test_unknown_sender_rejected(self):
+        sim = Simulator()
+        link = PointToPointLink(sim, "p2p", DEFAULT_CONFIG.backbone)
+        link.connect(FakeEndpoint())
+        with pytest.raises(ValueError):
+            link.transmit(make_packet(), FakeEndpoint())
+
+    def test_lossy_link_drops(self):
+        sim = Simulator()
+        link = PointToPointLink(sim, "p2p",
+                                LinkTimings(latency=0, bandwidth_bps=0,
+                                            loss_rate=1.0))
+        a, b = FakeEndpoint(), FakeEndpoint()
+        link.connect(a)
+        link.connect(b)
+        link.transmit(make_packet(), a)
+        sim.run_for(ms(10))
+        assert b.received == []
+        assert link.frames_dropped == 1
+
+
+class FakeRadio:
+    def __init__(self):
+        self.received = []
+
+    def deliver_from_radio(self, packet):
+        self.received.append(packet)
+
+
+class TestRadioChannel:
+    def _channel(self, sim, loss=0.0):
+        return RadioChannel(sim, "air",
+                            LinkTimings(latency=ms(10), bandwidth_bps=MBPS,
+                                        loss_rate=loss))
+
+    def test_unicast_by_published_address(self):
+        sim = Simulator()
+        channel = self._channel(sim)
+        a, b = FakeRadio(), FakeRadio()
+        channel.attach(a)  # type: ignore[arg-type]
+        channel.attach(b)  # type: ignore[arg-type]
+        channel.publish(ip("36.134.0.77"), b)  # type: ignore[arg-type]
+        packet = make_packet(dst="36.134.0.77")
+        channel.transmit(packet, ip("36.134.0.77"), a)  # type: ignore[arg-type]
+        sim.run_for(ms(20))
+        assert b.received == [packet]
+        assert a.received == []
+
+    def test_unpublished_address_vanishes(self):
+        sim = Simulator()
+        channel = self._channel(sim)
+        a = FakeRadio()
+        channel.attach(a)  # type: ignore[arg-type]
+        channel.transmit(make_packet(), ip("36.134.0.99"), a)  # type: ignore[arg-type]
+        sim.run_for(ms(20))
+        assert channel.frames_dropped == 1
+        assert sim.trace.select("link", "radio_unreachable")
+
+    def test_withdraw_makes_address_unreachable(self):
+        sim = Simulator()
+        channel = self._channel(sim)
+        a, b = FakeRadio(), FakeRadio()
+        channel.attach(a)  # type: ignore[arg-type]
+        channel.attach(b)  # type: ignore[arg-type]
+        channel.publish(ip("36.134.0.77"), b)  # type: ignore[arg-type]
+        channel.withdraw(ip("36.134.0.77"))
+        channel.transmit(make_packet(), ip("36.134.0.77"), a)  # type: ignore[arg-type]
+        sim.run_for(ms(20))
+        assert b.received == []
+
+    def test_broadcast_reaches_all_but_sender(self):
+        sim = Simulator()
+        channel = self._channel(sim)
+        radios = [FakeRadio() for _ in range(3)]
+        for radio in radios:
+            channel.attach(radio)  # type: ignore[arg-type]
+        channel.transmit(make_packet(), ip("255.255.255.255"), radios[0])  # type: ignore[arg-type]
+        sim.run_for(ms(20))
+        assert radios[0].received == []
+        assert len(radios[1].received) == 1
+        assert len(radios[2].received) == 1
+
+    def test_detach_withdraws_addresses(self):
+        sim = Simulator()
+        channel = self._channel(sim)
+        a, b = FakeRadio(), FakeRadio()
+        channel.attach(a)  # type: ignore[arg-type]
+        channel.attach(b)  # type: ignore[arg-type]
+        channel.publish(ip("36.134.0.77"), b)  # type: ignore[arg-type]
+        channel.detach(b)  # type: ignore[arg-type]
+        channel.transmit(make_packet(), ip("36.134.0.77"), a)  # type: ignore[arg-type]
+        sim.run_for(ms(20))
+        assert b.received == []
+
+    def test_shared_air_serializes_all_senders(self):
+        sim = Simulator()
+        channel = RadioChannel(sim, "air",
+                               LinkTimings(latency=0, bandwidth_bps=MBPS))
+        a, b, c = FakeRadio(), FakeRadio(), FakeRadio()
+        for radio in (a, b, c):
+            channel.attach(radio)  # type: ignore[arg-type]
+        channel.publish(ip("36.134.0.3"), c)  # type: ignore[arg-type]
+        # Two senders transmit simultaneously: the second waits for the air.
+        channel.transmit(make_packet(125), ip("36.134.0.3"), a)  # type: ignore[arg-type]
+        channel.transmit(make_packet(125), ip("36.134.0.3"), b)  # type: ignore[arg-type]
+        sim.run_for(ms(1.5))
+        assert len(c.received) == 1
+        sim.run_for(ms(1))
+        assert len(c.received) == 2

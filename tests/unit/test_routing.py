@@ -1,0 +1,107 @@
+"""Unit tests for the routing table and RouteResult."""
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.net.addressing import MACAllocator, ip, subnet
+from repro.net.interface import EthernetInterface, InterfaceState
+from repro.net.routing import RouteEntry, RouteResult, RoutingTable
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def ifaces(sim):
+    macs = MACAllocator()
+    out = []
+    for name in ("eth0", "eth1", "vif"):
+        iface = EthernetInterface(sim, name, macs.allocate(), DEFAULT_CONFIG)
+        iface.state = InterfaceState.UP
+        out.append(iface)
+    return out
+
+
+def test_longest_prefix_wins(ifaces):
+    table = RoutingTable()
+    table.add(RouteEntry(subnet("10.0.0.0/8"), ifaces[0]))
+    table.add(RouteEntry(subnet("10.1.0.0/16"), ifaces[1]))
+    table.add(RouteEntry(subnet("10.1.2.0/24"), ifaces[2]))
+    assert table.lookup(ip("10.1.2.3")).interface is ifaces[2]
+    assert table.lookup(ip("10.1.9.9")).interface is ifaces[1]
+    assert table.lookup(ip("10.9.9.9")).interface is ifaces[0]
+
+
+def test_metric_breaks_prefix_ties(ifaces):
+    table = RoutingTable()
+    table.add(RouteEntry(subnet("10.0.0.0/24"), ifaces[0], metric=10))
+    table.add(RouteEntry(subnet("10.0.0.0/24"), ifaces[1], metric=5))
+    assert table.lookup(ip("10.0.0.1")).interface is ifaces[1]
+
+
+def test_host_route_beats_everything(ifaces):
+    table = RoutingTable()
+    table.add_default(ifaces[0], gateway=ip("10.0.0.1"))
+    table.add(RouteEntry(subnet("10.1.0.0/16"), ifaces[1]))
+    table.add_host_route(ip("10.1.2.3"), ifaces[2])
+    assert table.lookup(ip("10.1.2.3")).interface is ifaces[2]
+
+
+def test_default_route_catches_everything(ifaces):
+    table = RoutingTable()
+    table.add_default(ifaces[0], gateway=ip("10.0.0.1"))
+    entry = table.lookup(ip("200.1.2.3"))
+    assert entry is not None and entry.gateway == ip("10.0.0.1")
+
+
+def test_no_match_returns_none(ifaces):
+    table = RoutingTable()
+    table.add(RouteEntry(subnet("10.0.0.0/24"), ifaces[0]))
+    assert table.lookup(ip("11.0.0.1")) is None
+
+
+def test_down_interfaces_are_skipped(ifaces):
+    table = RoutingTable()
+    table.add(RouteEntry(subnet("10.0.0.0/24"), ifaces[0]))
+    table.add(RouteEntry(subnet("10.0.0.0/16"), ifaces[1]))
+    ifaces[0].state = InterfaceState.DOWN
+    assert table.lookup(ip("10.0.0.1")).interface is ifaces[1]
+    assert table.lookup(ip("10.0.0.1"), require_up=False).interface is ifaces[0]
+
+
+def test_remove_matching_by_interface(ifaces):
+    table = RoutingTable()
+    table.add(RouteEntry(subnet("10.0.0.0/24"), ifaces[0]))
+    table.add_default(ifaces[0], gateway=ip("10.0.0.1"))
+    table.add(RouteEntry(subnet("10.1.0.0/24"), ifaces[1]))
+    assert table.remove_matching(interface=ifaces[0]) == 2
+    assert len(table) == 1
+
+
+def test_remove_default_only(ifaces):
+    table = RoutingTable()
+    table.add(RouteEntry(subnet("10.0.0.0/24"), ifaces[0]))
+    table.add_default(ifaces[0], gateway=ip("10.0.0.1"))
+    assert table.remove_default() == 1
+    assert table.lookup(ip("99.0.0.1")) is None
+    assert table.lookup(ip("10.0.0.1")) is not None
+
+
+def test_entries_for(ifaces):
+    table = RoutingTable()
+    table.add(RouteEntry(subnet("10.0.0.0/24"), ifaces[0]))
+    table.add(RouteEntry(subnet("10.1.0.0/24"), ifaces[1]))
+    assert len(table.entries_for(ifaces[0])) == 1
+
+
+def test_route_result_next_hop(ifaces):
+    direct = RouteResult(interface=ifaces[0], source=ip("10.0.0.1"))
+    assert direct.next_hop(ip("10.0.0.9")) == ip("10.0.0.9")
+    via = RouteResult(interface=ifaces[0], source=ip("10.0.0.1"),
+                      gateway=ip("10.0.0.254"))
+    assert via.next_hop(ip("99.0.0.9")) == ip("10.0.0.254")
+
+
+def test_pinned_source_on_entry(ifaces):
+    table = RoutingTable()
+    table.add(RouteEntry(subnet("10.0.0.0/24"), ifaces[0],
+                         source=ip("10.0.0.42")))
+    assert table.lookup(ip("10.0.0.1")).source == ip("10.0.0.42")
