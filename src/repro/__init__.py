@@ -12,25 +12,56 @@ The package splits the way the paper does:
   IP-in-IP tunneling, the Mobile Policy Table, handoff engines, plus the
   foreign-agent baseline and the implemented extensions (smart
   correspondents, authentication, auto-switching, notifications).
+* :mod:`repro.obs` — observability: the metrics registry every simulator
+  owns (``sim.metrics``), engine profiling, exporters.
 * :mod:`repro.testbed` — the paper's Figure-5 environment, pre-wired.
 * :mod:`repro.workloads` — the measurement traffic.
 * :mod:`repro.experiments` — one harness per table/figure
-  (``python -m repro.experiments``).
+  (``python -m repro.experiments``; add ``--metrics`` for counters).
+* :mod:`repro.api` — the :class:`Scenario` builder facade, re-exported
+  here so the sixty-second tour needs one import.
 
 Sixty-second tour::
 
-    from repro.sim import Simulator, ms, s
-    from repro.testbed import build_testbed
+    from repro import Scenario, s
 
-    sim = Simulator(seed=42)
-    tb = build_testbed(sim)
-    tb.visit_dept()          # the mobile host roams; connections survive
-    sim.run_for(s(5))
-    print(tb.home_agent.current_care_of(tb.addresses.mh_home))
+    result = (Scenario(seed=42)
+              .with_testbed()
+              .with_step(0, lambda tb: tb.visit_dept())
+              .run(duration=s(5)))
+    print(result.testbed.home_agent.current_care_of(
+        result.testbed.addresses.mh_home))
+    print(result.report())
 """
 
+from repro.api import RunResult, Scenario
 from repro.config import DEFAULT_CONFIG, Config
+from repro.core.home_agent import HomeAgentService
+from repro.core.mobile_host import MobileHost
+from repro.core.policy import RoutingMode
+from repro.sim.engine import Simulator
+from repro.sim.units import ms, s, us
+from repro.testbed.topology import Testbed, build_testbed
 
-__version__ = "1.0.0"
+#: Alias: the paper calls the service simply "the home agent".
+HomeAgent = HomeAgentService
 
-__all__ = ["Config", "DEFAULT_CONFIG", "__version__"]
+__version__ = "1.1.0"
+
+__all__ = [
+    "Config",
+    "DEFAULT_CONFIG",
+    "HomeAgent",
+    "HomeAgentService",
+    "MobileHost",
+    "RoutingMode",
+    "RunResult",
+    "Scenario",
+    "Simulator",
+    "Testbed",
+    "build_testbed",
+    "ms",
+    "s",
+    "us",
+    "__version__",
+]

@@ -101,6 +101,20 @@ class RegistrationTimings:
 
 
 @dataclass(frozen=True)
+class AutoswitchTimings:
+    """Probe cadence and hysteresis for automatic network selection."""
+
+    #: Interval between reachability probes of each candidate, ns.
+    probe_interval: int
+    #: How long to wait for a probe reply before counting a failure, ns.
+    probe_timeout: int
+    #: Consecutive successes before a candidate becomes eligible.
+    up_threshold: int
+    #: Consecutive failures before a candidate becomes ineligible.
+    down_threshold: int
+
+
+@dataclass(frozen=True)
 class Config:
     """Bundle of every calibrated constant, with paper-faithful defaults."""
 
@@ -193,6 +207,16 @@ class Config:
             retransmit_interval=ms(1000),
             max_transmissions=4,
             default_lifetime=ms(60_000),
+        )
+    )
+
+    # ----------------------------------------------------------- autoswitch
+    autoswitch: AutoswitchTimings = field(
+        default_factory=lambda: AutoswitchTimings(
+            probe_interval=ms(500),
+            probe_timeout=ms(400),
+            up_threshold=2,
+            down_threshold=2,
         )
     )
 

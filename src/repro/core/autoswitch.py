@@ -30,6 +30,7 @@ it* is the manager's.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, List, Optional
 
@@ -79,17 +80,37 @@ class AttachmentOption:
 class ConnectivityManager:
     """Probe candidates, apply hysteresis, switch to the best network."""
 
-    def __init__(self, mobile: "MobileHost",
-                 probe_interval: int = DEFAULT_PROBE_INTERVAL,
-                 probe_timeout: int = DEFAULT_PROBE_TIMEOUT,
-                 up_threshold: int = DEFAULT_UP_THRESHOLD,
-                 down_threshold: int = DEFAULT_DOWN_THRESHOLD) -> None:
+    def __init__(self, mobile: "MobileHost", *_shim: int,
+                 probe_interval: Optional[int] = None,
+                 probe_timeout: Optional[int] = None,
+                 up_threshold: Optional[int] = None,
+                 down_threshold: Optional[int] = None) -> None:
+        if _shim:
+            warnings.warn(
+                "passing probe knobs positionally to ConnectivityManager is "
+                "deprecated; use keyword arguments",
+                DeprecationWarning, stacklevel=2)
+            shim_values = dict(zip(("probe_interval", "probe_timeout",
+                                    "up_threshold", "down_threshold"), _shim))
+            probe_interval = probe_interval if probe_interval is not None \
+                else shim_values.get("probe_interval")
+            probe_timeout = probe_timeout if probe_timeout is not None \
+                else shim_values.get("probe_timeout")
+            up_threshold = up_threshold if up_threshold is not None \
+                else shim_values.get("up_threshold")
+            down_threshold = down_threshold if down_threshold is not None \
+                else shim_values.get("down_threshold")
+        defaults = mobile.config.autoswitch
         self.mobile = mobile
         self.sim = mobile.sim
-        self.probe_interval = probe_interval
-        self.probe_timeout = probe_timeout
-        self.up_threshold = up_threshold
-        self.down_threshold = down_threshold
+        self.probe_interval = probe_interval if probe_interval is not None \
+            else defaults.probe_interval
+        self.probe_timeout = probe_timeout if probe_timeout is not None \
+            else defaults.probe_timeout
+        self.up_threshold = up_threshold if up_threshold is not None \
+            else defaults.up_threshold
+        self.down_threshold = down_threshold if down_threshold is not None \
+            else defaults.down_threshold
         self.options: List[AttachmentOption] = []
         self.switcher = DeviceSwitcher(mobile)
         self.running = False

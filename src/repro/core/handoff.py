@@ -102,6 +102,8 @@ class _TimelineBuilder:
         self.sim = mobile.sim
         self.timeline = SwitchTimeline(kind=kind, started_at=mobile.sim.now)
         self._stage_start = mobile.sim.now
+        self.sim.metrics.counter("handoff", "attempts", host=mobile.name,
+                                 kind=kind).value += 1
         self.sim.trace.emit("handoff", "start", host=mobile.name, kind=kind)
 
     def begin_stage(self) -> None:
@@ -119,6 +121,15 @@ class _TimelineBuilder:
                on_done: Callable[[SwitchTimeline], None]) -> None:
         self.timeline.success = success
         self.timeline.finished_at = self.sim.now
+        metrics = self.sim.metrics
+        if success:
+            metrics.histogram("handoff", "latency_ms",
+                              host=self.mobile.name,
+                              kind=self.timeline.kind
+                              ).observe(self.timeline.total / 1e6)
+        else:
+            metrics.counter("handoff", "failures", host=self.mobile.name,
+                            kind=self.timeline.kind).value += 1
         self.sim.trace.emit("handoff", "done", host=self.mobile.name,
                             kind=self.timeline.kind, success=success,
                             total_ms=self.timeline.total / 1_000_000)

@@ -79,6 +79,15 @@ class HomeAgentService:
         self.registrations_accepted = 0
         self.deregistrations = 0
         self.requests_denied = 0
+        metrics = host.sim.metrics
+        self._received_counter = metrics.counter(
+            "home_agent", "requests_received", host=host.name)
+        self._accepted_counter = metrics.counter(
+            "home_agent", "registrations_accepted", host=host.name)
+        self._deregistered_counter = metrics.counter(
+            "home_agent", "deregistrations", host=host.name)
+        self._denied_counter = metrics.counter(
+            "home_agent", "requests_denied", host=host.name)
 
     # -------------------------------------------------------------- provision
 
@@ -109,6 +118,7 @@ class HomeAgentService:
         if not isinstance(request, RegistrationRequest):
             return
         self.requests_received += 1
+        self._received_counter.value += 1
         timings = self.config.registration
         delay = (jittered(self._rng, timings.ha_receive_overhead, self.config.jitter)
                  + jittered(self._rng, timings.ha_processing_cost, self.config.jitter))
@@ -127,6 +137,7 @@ class HomeAgentService:
                 self._register(request)
         else:
             self.requests_denied += 1
+            self._denied_counter.value += 1
         lifetime = 0 if request.is_deregistration else request.lifetime
         reply = RegistrationReply(code=code,
                                   home_address=request.home_address,
@@ -171,6 +182,7 @@ class HomeAgentService:
                                request.authenticator)
         self._install_intercept(request.home_address)
         self.registrations_accepted += 1
+        self._accepted_counter.value += 1
         self.sim.trace.emit("binding", "registered",
                             home_address=str(request.home_address),
                             care_of=str(request.care_of_address),
@@ -180,6 +192,7 @@ class HomeAgentService:
         self.bindings.deregister(request.home_address)
         self._remove_intercept(request.home_address)
         self.deregistrations += 1
+        self._deregistered_counter.value += 1
         self.sim.trace.emit("binding", "deregistered",
                             home_address=str(request.home_address))
 

@@ -26,6 +26,7 @@ behaves exactly like a stationary one.
 from __future__ import annotations
 
 import enum
+import warnings
 from typing import TYPE_CHECKING, Callable, Optional, Tuple
 
 from repro.config import Config, DEFAULT_CONFIG
@@ -58,15 +59,30 @@ class MobileHost(Host):
 
     def __init__(self, sim: Simulator, name: str, home_address: IPAddress,
                  home_subnet: Subnet, home_agent: IPAddress,
-                 config: Config = DEFAULT_CONFIG,
-                 default_mode: RoutingMode = RoutingMode.TUNNEL) -> None:
+                 *_shim,
+                 config: Optional[Config] = None,
+                 default_mode: Optional[RoutingMode] = None) -> None:
+        if _shim:
+            warnings.warn(
+                "passing config/default_mode positionally to MobileHost is "
+                "deprecated; use keyword arguments",
+                DeprecationWarning, stacklevel=2)
+            if config is None and len(_shim) >= 1:
+                config = _shim[0]
+            if default_mode is None and len(_shim) >= 2:
+                default_mode = _shim[1]
+        if config is None:
+            config = DEFAULT_CONFIG
+        if default_mode is None:
+            default_mode = RoutingMode.TUNNEL
         super().__init__(sim, name, config, timings=config.mobile_host)
         self.home_address = home_address
         self.home_subnet = home_subnet
         self.home_agent = home_agent
         self.vif: VirtualInterface = install_tunnel(self, name="vif")
         self.vif.endpoint_selector = self._select_endpoints
-        self.policy = MobilePolicyTable(default_mode=default_mode)
+        self.policy = MobilePolicyTable(default_mode=default_mode,
+                                        metrics=sim.metrics, owner=name)
         self.registration = RegistrationClient(self, home_address, home_agent)
         self.ip.route_hook = self._mobile_route
 

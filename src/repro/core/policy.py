@@ -29,10 +29,12 @@ transit-filtering router.
 from __future__ import annotations
 
 import enum
+import warnings
 from dataclasses import dataclass
 from typing import List, Optional, Union
 
 from repro.net.addressing import IPAddress, Subnet
+from repro.obs.metrics import MetricsRegistry
 
 
 class RoutingMode(enum.Enum):
@@ -84,9 +86,32 @@ class MobilePolicyTable:
     tables unchanged and merely add our Mobile Policy Table for IP's use."
     """
 
-    def __init__(self, default_mode: RoutingMode = RoutingMode.TUNNEL) -> None:
-        self.default_mode = default_mode
+    def __init__(self, *_shim: RoutingMode,
+                 default_mode: Optional[RoutingMode] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 owner: str = "") -> None:
+        if _shim:
+            warnings.warn(
+                "passing default_mode positionally to MobilePolicyTable is "
+                "deprecated; use MobilePolicyTable(default_mode=...)",
+                DeprecationWarning, stacklevel=2)
+            if default_mode is None:
+                default_mode = _shim[0]
+        self.default_mode = default_mode if default_mode is not None \
+            else RoutingMode.TUNNEL
         self._entries: List[PolicyEntry] = []
+        # A table built without a registry (bare tables in tests) records
+        # into a private one, keeping the lookup path branch-free.
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._owner = owner
+        self._lookup_counters = {
+            (mode, result): self._metrics.counter(
+                "policy", "lookups", host=owner, mode=mode.value,
+                result=result)
+            for mode in RoutingMode for result in ("hit", "miss")
+        }
+        self._probe_fallback_counter = self._metrics.counter(
+            "policy", "probe_fallbacks", host=owner)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -125,7 +150,11 @@ class MobilePolicyTable:
     def lookup(self, dst: IPAddress) -> RoutingMode:
         """The routing mode for *dst* (default when no entry matches)."""
         entry = self.lookup_entry(dst)
-        return entry.mode if entry is not None else self.default_mode
+        if entry is not None:
+            self._lookup_counters[(entry.mode, "hit")].value += 1
+            return entry.mode
+        self._lookup_counters[(self.default_mode, "miss")].value += 1
+        return self.default_mode
 
     # --------------------------------------------------------- dynamic updates
 
@@ -138,6 +167,7 @@ class MobilePolicyTable:
         """
         entry = self.lookup_entry(dst)
         if not reachable:
+            self._probe_fallback_counter.value += 1
             self.set_policy(dst, RoutingMode.TUNNEL, origin="probe")
             return
         if entry is not None and entry.origin == "probe" \

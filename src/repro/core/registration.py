@@ -140,6 +140,15 @@ class RegistrationClient:
                                      ).on_datagram(self._on_datagram)
         self.registrations_sent = 0
         self.replies_received = 0
+        metrics = self.sim.metrics
+        self._attempts_counter = metrics.counter("registration", "attempts",
+                                                 host=host.name)
+        self._retries_counter = metrics.counter("registration", "retries",
+                                                host=host.name)
+        self._failures_counter = metrics.counter("registration", "failures",
+                                                 host=host.name)
+        self._latency_histogram = metrics.histogram(
+            "registration", "latency_ms", host=host.name)
 
     def rebind_source(self, source: IPAddress) -> None:
         """Pin the registration socket's source address.
@@ -204,6 +213,7 @@ class RegistrationClient:
                                        on_fail=on_fail, sent_at=self.sim.now,
                                        transmissions=0, retry_event=None)
         self._pending[request.identification] = pending
+        self._attempts_counter.value += 1
         self.sim.trace.emit("registration", "request_start",
                             host=self.host.name,
                             ident=request.identification,
@@ -223,6 +233,8 @@ class RegistrationClient:
         timings = self.config.registration
         pending.transmissions += 1
         self.registrations_sent += 1
+        if pending.transmissions > 1:
+            self._retries_counter.value += 1
         target = destination if destination is not None else self.home_agent
         self.sim.trace.emit("registration", "request_sent", host=self.host.name,
                             ident=ident, attempt=pending.transmissions,
@@ -246,6 +258,7 @@ class RegistrationClient:
         pending = self._pending.pop(ident, None)
         if pending is None:
             return
+        self._failures_counter.value += 1
         self.sim.trace.emit("registration", "failed", host=self.host.name,
                             ident=ident, attempts=pending.transmissions)
         pending.on_fail()
@@ -275,6 +288,7 @@ class RegistrationClient:
                                           request_sent_at=pending.sent_at,
                                           reply_received_at=self.sim.now,
                                           transmissions=pending.transmissions)
+            self._latency_histogram.observe(outcome.round_trip / 1e6)
             pending.on_done(outcome)
 
         self.sim.call_later(receive_cost, complete, label="reg-reply-rx")

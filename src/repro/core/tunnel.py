@@ -24,9 +24,10 @@ the VIF.
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING, Callable, Optional, Tuple
 
-from repro.config import Config
+from repro.config import Config, DEFAULT_CONFIG
 from repro.net.addressing import IPAddress
 from repro.net.interface import InterfaceState, NetworkInterface
 from repro.net.packet import PROTO_IPIP, IPPacket, encapsulate, encapsulation_depth
@@ -50,13 +51,27 @@ class TunnelError(RuntimeError):
 class VirtualInterface(NetworkInterface):
     """The paper's ``vif``: an interface that encapsulates instead of sends."""
 
-    def __init__(self, sim: Simulator, name: str, config: Config) -> None:
+    def __init__(self, sim: Simulator, name: str, *_shim: Config,
+                 config: Optional[Config] = None) -> None:
+        if _shim:
+            warnings.warn(
+                "passing config positionally to VirtualInterface is "
+                "deprecated; use VirtualInterface(sim, name, config=...)",
+                DeprecationWarning, stacklevel=2)
+            if config is None:
+                config = _shim[0]
+        if config is None:
+            config = DEFAULT_CONFIG
         super().__init__(sim, name, config.virtual_device, config)
         self.state = InterfaceState.UP  # software-only; born up
         self.endpoint_selector: Optional[EndpointSelector] = None
         self._fifo = FifoDelay(sim)
         self.packets_encapsulated = 0
         self.packets_dropped_no_endpoint = 0
+        self._encap_counter = sim.metrics.counter("tunnel", "encapsulated",
+                                                  iface=name)
+        self._overhead_counter = sim.metrics.counter(
+            "tunnel", "overhead_bytes", iface=name)
 
     def send_ip(self, packet: IPPacket, next_hop: IPAddress) -> None:
         """Encapsulate *packet* and hand the result back to IP."""
@@ -83,6 +98,8 @@ class VirtualInterface(NetworkInterface):
             raise TunnelError(f"{self.name}: double encapsulation of "
                               f"{packet.describe()}")
         self.packets_encapsulated += 1
+        self._encap_counter.value += 1
+        self._overhead_counter.value += outer.size_bytes - packet.size_bytes
         self.tx_packets += 1
         self.sim.trace.emit("tunnel", "encapsulated", interface=self.name,
                             outer=outer.describe())
@@ -106,6 +123,8 @@ class IPIPModule:
         self.sim = host.sim
         self._fifo = FifoDelay(host.sim)
         self.packets_decapsulated = 0
+        self._decap_counter = host.sim.metrics.counter(
+            "tunnel", "decapsulated", host=host.name)
         host.ip.register_protocol(PROTO_IPIP, self._receive)
 
     def _receive(self, outer: IPPacket, iface: NetworkInterface) -> None:
@@ -113,6 +132,7 @@ class IPIPModule:
         self.sim.trace.emit("tunnel", "decapsulated", host=self.host.name,
                             inner=inner.describe())
         self.packets_decapsulated += 1
+        self._decap_counter.value += 1
         cost = jittered(self.sim.rng(f"ipip:{self.host.name}"),
                         self.host.timings.tunnel_cost, self.host.config.jitter)
         # Re-inject: the inner packet "takes the reverse of the dotted path
@@ -135,7 +155,7 @@ def install_tunnel(host: "Host", name: str = "vif") -> VirtualInterface:
     (e.g. a router that is both home agent for one subnet and foreign agent
     for another) still has exactly one IPIP protocol handler.
     """
-    vif = VirtualInterface(host.sim, f"{name}.{host.name}", host.config)
+    vif = VirtualInterface(host.sim, f"{name}.{host.name}", config=host.config)
     host.add_interface(vif)
     if getattr(host, "ipip", None) is None:
         host.ipip = IPIPModule(host)  # type: ignore[attr-defined]

@@ -5,15 +5,23 @@ Usage::
     python -m repro.experiments            # everything
     python -m repro.experiments f6 f7      # just those experiments
     python -m repro.experiments --figures  # ASCII renderings of fig. 6 & 7
+    python -m repro.experiments --metrics  # append per-component counters
 
 Experiment ids: ``e1`` (same-subnet switch), ``f6`` (device switching),
 ``f7`` (registration time-line), ``f3`` (routing options), ``a1``
 (foreign-agent ablation), ``x1``-``x3`` (extensions).
+
+``--metrics`` captures every simulator an experiment builds and prints the
+merged :mod:`repro.obs` registry after its report: link/interface traffic,
+tunnel encap/decap, TCP retransmits, registration latency histograms, and
+the engine's dispatch counters.
 """
 
 from __future__ import annotations
 
 import sys
+
+from repro.obs import capture_simulators, format_reports
 
 from repro.experiments.exp_autoswitch import run_autoswitch_experiment
 from repro.experiments.exp_device_switch import run_device_switch_experiment
@@ -54,7 +62,9 @@ def main(argv: list) -> int:
         print()
         print(render_figure6(run_device_switch_experiment()))
         return 0
-    requested = [arg.lower() for arg in argv] or list(RUNNERS)
+    with_metrics = "--metrics" in argv
+    requested = [arg.lower() for arg in argv
+                 if arg != "--metrics"] or list(RUNNERS)
     unknown = [name for name in requested if name not in RUNNERS]
     if unknown:
         print(f"unknown experiment ids: {', '.join(unknown)}; "
@@ -64,7 +74,15 @@ def main(argv: list) -> int:
         title, runner = RUNNERS[name]
         banner = f"=== {name}: {title} ==="
         print(banner)
-        print(runner())
+        if with_metrics:
+            with capture_simulators() as captured:
+                report = runner()
+            print(report)
+            print()
+            print(format_reports((sim.metrics for sim in captured),
+                                 title=f"{name} metrics"))
+        else:
+            print(runner())
         print()
     return 0
 

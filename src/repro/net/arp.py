@@ -76,6 +76,15 @@ class ARPService:
         #: Addresses we answer requests for on behalf of someone else.
         self._proxy_for: Set[IPAddress] = set()
         self._pending: Dict[IPAddress, _PendingResolution] = {}
+        metrics = interface.sim.metrics
+        self._requests_counter = metrics.counter("arp", "requests",
+                                                 iface=interface.name)
+        self._gratuitous_counter = metrics.counter("arp", "gratuitous",
+                                                   iface=interface.name)
+        self._evictions_counter = metrics.counter("arp", "cache_evictions",
+                                                  iface=interface.name)
+        self._failures_counter = metrics.counter("arp", "resolution_failures",
+                                                 iface=interface.name)
 
     # ------------------------------------------------------------ inspection
 
@@ -94,6 +103,7 @@ class ARPService:
             return None
         if entry.expires_at <= self._sim.now:
             del self._cache[addr]
+            self._evictions_counter.value += 1
             return None
         return entry.mac
 
@@ -164,6 +174,7 @@ class ARPService:
         sender_ip = self._iface.address if self._iface.address is not None else IPAddress(0)
         request = ARPMessage(op=OP_REQUEST, sender_ip=sender_ip,
                              sender_mac=self._iface.mac, target_ip=target)
+        self._requests_counter.value += 1
         self._sim.trace.emit("arp", "request", interface=self._iface.name,
                              target=str(target), attempt=pending.attempts)
         self._iface.transmit_arp(request, BROADCAST_MAC)
@@ -179,6 +190,7 @@ class ARPService:
             return
         if pending.attempts >= self._cfg.arp_max_attempts:
             del self._pending[target]
+            self._failures_counter.value += 1
             self._sim.trace.emit("arp", "failed", interface=self._iface.name,
                                  target=str(target), dropped=len(pending.packets))
             for _packet, drop_cb in pending.packets:
@@ -201,6 +213,7 @@ class ARPService:
         """Broadcast a gratuitous ARP announcing *addr* at our MAC."""
         message = ARPMessage(op=OP_REQUEST, sender_ip=addr,
                              sender_mac=self._iface.mac, target_ip=addr)
+        self._gratuitous_counter.value += 1
         self._sim.trace.emit("arp", "gratuitous", interface=self._iface.name,
                              address=str(addr))
         self._iface.transmit_arp(message, BROADCAST_MAC)

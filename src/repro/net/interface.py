@@ -65,6 +65,22 @@ class NetworkInterface:
         self.rx_packets = 0
         self.dropped_down = 0
         self.dropped_no_route = 0
+        self._tx_counter = sim.metrics.counter("iface", "tx_packets",
+                                               iface=name)
+        self._rx_counter = sim.metrics.counter("iface", "rx_packets",
+                                               iface=name)
+        self._drop_counter = sim.metrics.counter("iface", "dropped_packets",
+                                                 iface=name)
+
+    def _count_tx(self) -> None:
+        """Account one packet handed to the medium (mirrors ``tx_packets``)."""
+        self.tx_packets += 1
+        self._tx_counter.value += 1
+
+    def _count_drop_down(self) -> None:
+        """Account one packet lost because the device was not UP."""
+        self.dropped_down += 1
+        self._drop_counter.value += 1
 
     # ------------------------------------------------------------- addresses
 
@@ -192,7 +208,7 @@ class NetworkInterface:
     def _guard_send(self, packet: IPPacket) -> bool:
         """Common send-side checks; returns True if the packet may go out."""
         if self.state != InterfaceState.UP:
-            self.dropped_down += 1
+            self._count_drop_down()
             self.sim.trace.emit("device", "tx_drop_down", interface=self.name,
                                 packet=packet.describe())
             return False
@@ -200,13 +216,14 @@ class NetworkInterface:
 
     def _deliver_to_host(self, packet: IPPacket) -> None:
         if self.state != InterfaceState.UP:
-            self.dropped_down += 1
+            self._count_drop_down()
             self.sim.trace.emit("device", "rx_drop_down", interface=self.name,
                                 packet=packet.describe())
             return
         if self.host is None:
             raise InterfaceError(f"{self.name} is not attached to a host")
         self.rx_packets += 1
+        self._rx_counter.value += 1
         self.host.ip.receive_packet(packet, self)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -245,11 +262,11 @@ class EthernetInterface(NetworkInterface):
         if self.segment is None:
             # The cable is unplugged: packets fall on the floor, exactly
             # as on real hardware.
-            self.dropped_down += 1
+            self._count_drop_down()
             self.sim.trace.emit("device", "tx_drop_unplugged",
                                 interface=self.name)
             return
-        self.tx_packets += 1
+        self._count_tx()
         if next_hop.is_limited_broadcast or (
             self.subnet is not None and next_hop == self.subnet.broadcast
         ):
@@ -264,7 +281,7 @@ class EthernetInterface(NetworkInterface):
         from repro.net.ethernet import ETHERTYPE_IPV4, EthernetFrame
 
         if self.segment is None or self.state != InterfaceState.UP:
-            self.dropped_down += 1
+            self._count_drop_down()
             return
         dst = BROADCAST_MAC if broadcast else mac
         assert dst is not None
@@ -288,7 +305,7 @@ class EthernetInterface(NetworkInterface):
 
         assert isinstance(frame, EthernetFrame)
         if self.state != InterfaceState.UP:
-            self.dropped_down += 1
+            self._count_drop_down()
             return
         if frame.dst != self.mac and not frame.dst.is_broadcast:
             return  # not for us; NIC filter discards silently
@@ -348,7 +365,7 @@ class RadioInterface(NetworkInterface):
             return
         if self.channel is None:
             raise InterfaceError(f"{self.name} has no channel")
-        self.tx_packets += 1
+        self._count_tx()
         deliver_at = self._serial_finish_time(packet.size_bytes, "tx")
         self.sim.call_at(
             deliver_at,
@@ -358,14 +375,14 @@ class RadioInterface(NetworkInterface):
 
     def _radio_transmit(self, packet: IPPacket, next_hop: IPAddress) -> None:
         if self.channel is None or self.state != InterfaceState.UP:
-            self.dropped_down += 1
+            self._count_drop_down()
             return
         self.channel.transmit(packet, next_hop, self)
 
     def deliver_from_radio(self, packet: IPPacket) -> None:
         """Packet arrived over the air; haul it across the serial line."""
         if self.state != InterfaceState.UP:
-            self.dropped_down += 1
+            self._count_drop_down()
             self.sim.trace.emit("device", "rx_drop_down", interface=self.name,
                                 packet=packet.describe())
             return
@@ -398,7 +415,7 @@ class PointToPointInterface(NetworkInterface):
             return
         if self.link is None:
             raise InterfaceError(f"{self.name} has no link")
-        self.tx_packets += 1
+        self._count_tx()
         self.link.transmit(packet, self)
 
     def deliver_from_link(self, packet: IPPacket) -> None:
@@ -417,6 +434,6 @@ class LoopbackInterface(NetworkInterface):
         """Bounce the packet straight back to this host."""
         if not self._guard_send(packet):
             return
-        self.tx_packets += 1
+        self._count_tx()
         self.sim.call_later(0, lambda: self._deliver_to_host(packet),
                             label=f"lo:{self.name}")

@@ -73,6 +73,15 @@ class IPStack:
         self.dropped_filtered = 0
         self.dropped_ttl = 0
         self.dropped_not_local = 0
+        metrics = sim.metrics
+        self._forwarded_counter = metrics.counter("ip", "forwards",
+                                                  host=host.name)
+        self._ttl_drop_counter = metrics.counter("ip", "ttl_drops",
+                                                 host=host.name)
+        self._no_route_counter = metrics.counter("ip", "no_route_drops",
+                                                 host=host.name)
+        self._filtered_counter = metrics.counter("ip", "filtered_drops",
+                                                 host=host.name)
 
     # --------------------------------------------------------------- plumbing
 
@@ -154,6 +163,7 @@ class IPStack:
         route = self.ip_rt_route(packet.dst, packet.src)
         if route is None:
             self.dropped_no_route += 1
+            self._no_route_counter.value += 1
             self.sim.trace.emit("ip", "no_route", host=self.host.name,
                                 packet=packet.describe())
             return False
@@ -226,24 +236,28 @@ class IPStack:
     def _forward(self, packet: IPPacket, in_iface: "NetworkInterface") -> None:
         if packet.ttl <= 1:
             self.dropped_ttl += 1
+            self._ttl_drop_counter.value += 1
             self.sim.trace.emit("ip", "ttl_exceeded", host=self.host.name,
                                 packet=packet.describe())
             self.host.icmp.send_time_exceeded(packet)
             return
         if self.forward_filter is not None and not self.forward_filter(packet, in_iface):
             self.dropped_filtered += 1
+            self._filtered_counter.value += 1
             self.sim.trace.emit("ip", "filtered", host=self.host.name,
                                 packet=packet.describe())
             return
         route = self.ip_rt_route(packet.dst, packet.src)
         if route is None:
             self.dropped_no_route += 1
+            self._no_route_counter.value += 1
             self.sim.trace.emit("ip", "no_route", host=self.host.name,
                                 packet=packet.describe())
             self.host.icmp.send_dest_unreachable(packet)
             return
         forwarded = packet.decremented()
         self.forwarded += 1
+        self._forwarded_counter.value += 1
         delay = jittered(self._rng, self.timings.forward_cost, self.config.jitter)
         out_iface = route.interface
         hop = route.next_hop(forwarded.dst)

@@ -54,6 +54,18 @@ class Link:
         self._rng = sim.rng(f"link:{name}")
         #: Per-transmitter busy-until times; key None = the shared medium.
         self._busy_until: Dict[object, int] = {}
+        self._tx_frames = sim.metrics.counter("link", "tx_frames", link=name)
+        self._tx_bytes = sim.metrics.counter("link", "tx_bytes", link=name)
+        self._drop_frames = sim.metrics.counter("link", "dropped_frames",
+                                                link=name)
+
+    def _count_tx(self, size_bytes: int) -> None:
+        """Account one frame entering the medium (kept in sync with the
+        legacy ``frames_sent``/``bytes_sent`` attributes)."""
+        self.frames_sent += 1
+        self.bytes_sent += size_bytes
+        self._tx_frames.value += 1
+        self._tx_bytes.value += size_bytes
 
     def _delivery_time(self, size_bytes: int, key: object = None) -> int:
         """Absolute delivery time, honouring the transmitter's queue."""
@@ -70,6 +82,7 @@ class Link:
     def _drops(self) -> bool:
         if bernoulli(self._rng, self.timings.loss_rate):
             self.frames_dropped += 1
+            self._drop_frames.value += 1
             self.sim.trace.emit("link", "drop", link=self.name)
             return True
         return False
@@ -99,8 +112,7 @@ class EthernetSegment(Link):
         serialize behind one another (we model the ether as one queue
         rather than simulating CSMA/CD collisions).
         """
-        self.frames_sent += 1
-        self.bytes_sent += frame.size_bytes
+        self._count_tx(frame.size_bytes)
         if self._drops():
             return
         deliver_at = self._delivery_time(frame.size_bytes)
@@ -136,8 +148,7 @@ class PointToPointLink(Link):
         """Carry *packet* to the far endpoint."""
         if sender not in self._endpoints:
             raise ValueError(f"{sender!r} is not an endpoint of {self.name}")
-        self.frames_sent += 1
-        self.bytes_sent += packet.size_bytes
+        self._count_tx(packet.size_bytes)
         if self._drops():
             return
         peers = [endpoint for endpoint in self._endpoints if endpoint is not sender]
@@ -191,8 +202,7 @@ class RadioChannel(Link):
     def transmit(self, packet: IPPacket, next_hop: IPAddress,
                  sender: "RadioInterface") -> None:
         """Radiate *packet* toward the radio owning *next_hop*."""
-        self.frames_sent += 1
-        self.bytes_sent += packet.size_bytes
+        self._count_tx(packet.size_bytes)
         if self._drops():
             return
         # One shared air interface: all radios serialize behind each other.
@@ -212,6 +222,7 @@ class RadioChannel(Link):
             self.sim.trace.emit("link", "radio_unreachable", link=self.name,
                                 next_hop=str(next_hop))
             self.frames_dropped += 1
+            self._drop_frames.value += 1
             return
         self.sim.call_at(
             deliver_at,

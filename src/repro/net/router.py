@@ -31,6 +31,8 @@ class Router(Host):
         self._transit_filter = False
         self._filter_exempt: Set[Subnet] = set()
         self.transit_drops = 0
+        self._transit_drop_counter = sim.metrics.counter(
+            "router", "transit_drops", host=name)
 
     # ---------------------------------------------------------------- filter
 
@@ -73,6 +75,7 @@ class Router(Host):
         if any(packet.dst in net for net in local):
             return True
         self.transit_drops += 1
+        self._transit_drop_counter.value += 1
         self.sim.trace.emit("router", "transit_drop", router=self.name,
                             packet=packet.describe())
         return False

@@ -313,6 +313,7 @@ class TCPConnection:
         if self.snd_una >= self.snd_max and self.state not in (
                 TCPState.SYN_SENT, TCPState.SYN_RECEIVED):
             return  # everything acknowledged meanwhile
+        self._service.rto_counter.value += 1
         self._retransmit_count += 1
         if self._retransmit_count > MAX_RETRANSMITS:
             self.sim.trace.emit("tcp", "gave_up", conn=self._describe())
@@ -321,6 +322,7 @@ class TCPConnection:
             self._teardown()
             return
         self.segments_retransmitted += 1
+        self._service.retransmits_counter.value += 1
         self._rto_backoff = min(self._rto_backoff + 1, 6)
         self._timing_seq = None  # Karn's rule
         # Tahoe on timeout: remember half the flight as the slow-start
@@ -393,6 +395,9 @@ class TCPConnection:
 
     def _process_ack(self, ack: int) -> None:
         if ack <= self.snd_una or ack > self.snd_max:
+            if ack == self.snd_una and self.snd_max > self.snd_una:
+                # An ACK that advances nothing while data is in flight.
+                self._service.dup_ack_counter.value += 1
             return
         if self._timing_seq is not None and ack > self._timing_seq:
             self._update_rtt(self.sim.now - self._timing_sent_at)
@@ -513,6 +518,13 @@ class TCPService:
         self._listeners: Dict[int, TCPListener] = {}
         self._next_ephemeral = self.EPHEMERAL_START
         host.ip.register_protocol(PROTO_TCP, self._receive)
+        # Created eagerly so every TCP host reports these even when zero.
+        self.retransmits_counter = sim.metrics.counter(
+            "tcp", "retransmits", host=host.name)
+        self.rto_counter = sim.metrics.counter(
+            "tcp", "rto_expirations", host=host.name)
+        self.dup_ack_counter = sim.metrics.counter(
+            "tcp", "dup_acks", host=host.name)
 
     # ------------------------------------------------------------- public API
 

@@ -1,0 +1,45 @@
+"""Capture hooks: collect the simulators an opaque code path creates.
+
+The experiment harnesses (``repro.experiments.exp_*``) build their own
+:class:`~repro.sim.engine.Simulator` instances internally and only return
+report dataclasses — there is no handle through which ``--metrics`` could
+reach the registries afterwards.  Rather than widen every experiment's
+return type, the engine announces each new simulator here, and
+:func:`capture_simulators` records the announcements made while a block
+runs::
+
+    with capture_simulators() as captured:
+        run_experiment(seed=7)
+    report = format_reports(sim.metrics for sim in captured)
+
+When no capture is active (the normal case), :func:`note_simulator` is a
+no-op beyond one truthiness check, so simulation behavior and performance
+are untouched.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, List
+
+# Stack of active capture lists.  Nested captures each see the simulators
+# created inside them (inner captures also feed outer ones).
+_active: List[List] = []
+
+
+def note_simulator(sim) -> None:
+    """Called by ``Simulator.__init__``; records *sim* in active captures."""
+    if _active:
+        for bucket in _active:
+            bucket.append(sim)
+
+
+@contextlib.contextmanager
+def capture_simulators() -> Iterator[List]:
+    """Collect every Simulator constructed while the ``with`` body runs."""
+    bucket: List = []
+    _active.append(bucket)
+    try:
+        yield bucket
+    finally:
+        _active.remove(bucket)

@@ -1,0 +1,128 @@
+"""Exporters: JSONL trace dumps, flat snapshots, human-readable reports.
+
+Three consumers, three formats:
+
+* **Machines replaying a run** read the trace as JSON Lines
+  (:func:`trace_to_jsonl` / :func:`write_trace_jsonl`) — one record per
+  line, stable field order, greppable.
+* **Tests and diff tools** read the flat snapshot
+  (:func:`snapshot` — just the registry's own ``snapshot()``, re-exported
+  here for symmetry) and its canonical serialization
+  (:func:`snapshot_to_json`), which is byte-identical across same-seed
+  runs.
+* **Humans** read :func:`format_report`, a per-component table printed by
+  ``python -m repro.experiments --metrics``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, Iterable, List
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.sim.trace import Trace, TraceRecord
+
+
+# ------------------------------------------------------------------ trace dump
+
+def trace_record_to_dict(record: TraceRecord) -> Dict[str, object]:
+    """One trace record as a JSON-ready dict with stable field order."""
+    out: Dict[str, object] = {
+        "time": record.time,
+        "category": record.category,
+        "event": record.event,
+    }
+    # Field values may be rich objects (IPv4Address, enums); stringify
+    # anything json can't take natively so the dump never raises.
+    fields = {}
+    for key in sorted(record.fields):
+        value = record.fields[key]
+        if isinstance(value, (int, float, str, bool)) or value is None:
+            fields[key] = value
+        else:
+            fields[key] = str(value)
+    out["fields"] = fields
+    return out
+
+
+def trace_to_jsonl(trace: Trace) -> str:
+    """The whole trace as JSON Lines (one record per line)."""
+    return "".join(json.dumps(trace_record_to_dict(record),
+                              separators=(",", ":")) + "\n"
+                   for record in trace.records)
+
+
+def write_trace_jsonl(trace: Trace, stream: IO[str]) -> int:
+    """Write the trace to *stream* as JSONL; returns the record count."""
+    count = 0
+    for record in trace.records:
+        stream.write(json.dumps(trace_record_to_dict(record),
+                                separators=(",", ":")) + "\n")
+        count += 1
+    return count
+
+
+# ------------------------------------------------------------------- snapshot
+
+def snapshot(registry: MetricsRegistry) -> Dict[str, object]:
+    """The registry's flat, deterministically ordered snapshot dict."""
+    return registry.snapshot()
+
+
+def snapshot_to_json(registry: MetricsRegistry) -> str:
+    """Canonical JSON serialization — byte-identical for same-seed runs."""
+    return json.dumps(registry.snapshot(), sort_keys=True,
+                      separators=(",", ":"))
+
+
+# --------------------------------------------------------------- human report
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def format_report(registry: MetricsRegistry, title: str = "metrics") -> str:
+    """A per-component, human-readable report of every metric.
+
+    Counters and gauges print one line each; histograms print count, mean,
+    min/max and the non-empty buckets.  Components and metric keys are
+    sorted, so the report is deterministic too.
+    """
+    by_component: Dict[str, List] = {}
+    for metric in registry:
+        by_component.setdefault(metric.component, []).append(metric)
+
+    lines: List[str] = [f"=== {title} ==="]
+    if not by_component:
+        lines.append("  (no metrics recorded)")
+        return "\n".join(lines)
+
+    for component in sorted(by_component):
+        lines.append(f"[{component}]")
+        for metric in sorted(by_component[component], key=lambda m: m.key):
+            label = metric.key[len(component) + 1:]  # strip "component/"
+            if isinstance(metric, Counter):
+                lines.append(f"  {label:<44} {metric.value}")
+            elif isinstance(metric, Gauge):
+                lines.append(f"  {label:<44} {_format_value(metric.value)}")
+            elif isinstance(metric, Histogram):
+                lines.append(
+                    f"  {label:<44} count={metric.count}"
+                    f" mean={metric.mean:.3f}"
+                    f" min={_format_value(metric.minimum) if metric.minimum is not None else '-'}"
+                    f" max={_format_value(metric.maximum) if metric.maximum is not None else '-'}")
+                if metric.count:
+                    buckets = " ".join(
+                        f"{name}:{value}"
+                        for name, value in metric.cumulative_buckets()
+                        if value)
+                    lines.append(f"  {'':<4}buckets {buckets}")
+    return "\n".join(lines)
+
+
+def format_reports(registries: Iterable[MetricsRegistry],
+                   title: str = "metrics") -> str:
+    """Merge several registries and report the combination."""
+    return format_report(MetricsRegistry.merged(registries), title=title)

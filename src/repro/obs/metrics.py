@@ -1,0 +1,327 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+The paper's method is "instrument the kernel with timestamps and
+post-process off-line" (Section 6).  The :class:`~repro.sim.trace.Trace`
+stream is the timestamp half; this module is the aggregation half — cheap
+monotonic counters and histograms the protocol code bumps inline, so a run
+can explain *where* its time and packets went without anyone replaying the
+trace.
+
+Design rules (they keep runs reproducible):
+
+* Metrics are **passive**.  Incrementing a counter never schedules an
+  event, draws randomness, or otherwise perturbs the simulation; a run
+  with nobody reading the metrics behaves byte-for-byte like one without.
+* Metrics are keyed by ``component/name`` plus a sorted label dict, so
+  two components (or two interfaces of one component) never collide.
+* :meth:`MetricsRegistry.snapshot` is a flat dict with deterministically
+  ordered keys: two runs with the same seed serialize identically.
+* The registry is owned by the :class:`~repro.sim.engine.Simulator`
+  (exactly like the trace), so concurrent simulations stay isolated.
+
+Naming convention: ``component`` is the subsystem (``link``, ``arp``,
+``ip``, ``tcp``, ``tunnel``, ``policy``, ``registration``, ``handoff``,
+``engine``), ``name`` is a snake_case quantity with the unit suffixed when
+it is not a plain count (``tx_bytes``, ``latency_ms``), and labels carry
+the instance (``iface=eth0.mh``, ``host=router``, ``kind=cold-switch``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: A metric's identity: (component, name, sorted label items).
+MetricKey = Tuple[str, str, Tuple[Tuple[str, str], ...]]
+
+#: Default bucket upper edges for latency histograms, in milliseconds.
+DEFAULT_LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1000.0, 2000.0, 5000.0,
+)
+
+
+def _labels_key(labels: Dict[str, object]) -> Tuple[Tuple[str, str], ...]:
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+def format_key(component: str, name: str,
+               labels: Tuple[Tuple[str, str], ...]) -> str:
+    """Render one metric's flat-dict key, e.g. ``tcp/retransmits{host=mh}``."""
+    base = f"{component}/{name}"
+    if not labels:
+        return base
+    rendered = ",".join(f"{key}={value}" for key, value in labels)
+    return f"{base}{{{rendered}}}"
+
+
+class Metric:
+    """Common identity bookkeeping for all metric kinds."""
+
+    kind = "metric"
+
+    def __init__(self, component: str, name: str,
+                 labels: Tuple[Tuple[str, str], ...]) -> None:
+        self.component = component
+        self.name = name
+        self.labels = labels
+
+    @property
+    def key(self) -> str:
+        """The flat snapshot key for this metric."""
+        return format_key(self.component, self.name, self.labels)
+
+    def snapshot_items(self) -> List[Tuple[str, object]]:
+        """(key, value) pairs this metric contributes to a snapshot."""
+        raise NotImplementedError
+
+    def merge_from(self, other: "Metric") -> None:
+        """Fold another instance of the same metric into this one."""
+        raise NotImplementedError
+
+
+class Counter(Metric):
+    """A monotonic count of occurrences (packets, drops, retransmits)."""
+
+    kind = "counter"
+
+    def __init__(self, component: str, name: str,
+                 labels: Tuple[Tuple[str, str], ...]) -> None:
+        super().__init__(component, name, labels)
+        self.value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (must be non-negative: counters only go up)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.key} cannot decrease "
+                             f"(inc({amount}))")
+        self.value += amount
+
+    def snapshot_items(self) -> List[Tuple[str, object]]:
+        return [(self.key, self.value)]
+
+    def merge_from(self, other: "Metric") -> None:
+        assert isinstance(other, Counter)
+        self.value += other.value
+
+
+class Gauge(Metric):
+    """A point-in-time value that can move both ways (queue depth)."""
+
+    kind = "gauge"
+
+    def __init__(self, component: str, name: str,
+                 labels: Tuple[Tuple[str, str], ...]) -> None:
+        super().__init__(component, name, labels)
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        """Overwrite the gauge."""
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        """Raise the gauge to *value* if it is higher (high-water mark)."""
+        if value > self.value:
+            self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        """Adjust the gauge by *amount* (may be negative)."""
+        self.value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        """Decrease the gauge by *amount*."""
+        self.value -= amount
+
+    def snapshot_items(self) -> List[Tuple[str, object]]:
+        return [(self.key, self.value)]
+
+    def merge_from(self, other: "Metric") -> None:
+        assert isinstance(other, Gauge)
+        # Merging simulations: the high-water mark is the useful combination
+        # for every gauge this codebase exports (depth maxima).
+        self.value = max(self.value, other.value)
+
+
+class Histogram(Metric):
+    """Fixed upper-edge buckets plus count/sum/min/max.
+
+    Buckets are cumulative-style on export (``le_<edge>`` counts all
+    observations at or below the edge; ``le_inf`` equals ``count``), which
+    makes snapshots mergeable and diffable.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, component: str, name: str,
+                 labels: Tuple[Tuple[str, str], ...],
+                 buckets: Sequence[float]) -> None:
+        super().__init__(component, name, labels)
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError(f"histogram {component}/{name} needs sorted, "
+                             f"non-empty bucket edges (got {buckets!r})")
+        self.buckets: Tuple[float, ...] = tuple(buckets)
+        self.bucket_counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.count: int = 0
+        self.total: float = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+        for index, edge in enumerate(self.buckets):
+            if value <= edge:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        """Average observation (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def cumulative_buckets(self) -> List[Tuple[str, int]]:
+        """``(le_<edge>, cumulative count)`` pairs, ending with ``le_inf``."""
+        out: List[Tuple[str, int]] = []
+        running = 0
+        for edge, bucket in zip(self.buckets, self.bucket_counts):
+            running += bucket
+            label = f"{edge:g}"
+            out.append((f"le_{label}", running))
+        out.append(("le_inf", self.count))
+        return out
+
+    def snapshot_items(self) -> List[Tuple[str, object]]:
+        base = self.key
+        items: List[Tuple[str, object]] = [
+            (f"{base}:count", self.count),
+            (f"{base}:sum", self.total),
+        ]
+        for label, value in self.cumulative_buckets():
+            items.append((f"{base}:{label}", value))
+        return items
+
+    def merge_from(self, other: "Metric") -> None:
+        assert isinstance(other, Histogram) and other.buckets == self.buckets
+        self.count += other.count
+        self.total += other.total
+        for index, value in enumerate(other.bucket_counts):
+            self.bucket_counts[index] += value
+        if other.minimum is not None:
+            self.minimum = other.minimum if self.minimum is None \
+                else min(self.minimum, other.minimum)
+        if other.maximum is not None:
+            self.maximum = other.maximum if self.maximum is None \
+                else max(self.maximum, other.maximum)
+
+
+class MetricsRegistry:
+    """All metrics of one simulation, keyed by ``component/name`` + labels.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: calling them
+    twice with the same identity returns the same object, so components
+    can resolve their metrics eagerly in ``__init__`` (which also makes
+    zero-valued metrics visible in reports) or lazily at the hot site.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[MetricKey, Metric] = {}
+
+    # ---------------------------------------------------------------- factories
+
+    def counter(self, component: str, name: str, **labels: object) -> Counter:
+        """Get or create the counter ``component/name{labels}``."""
+        return self._get_or_create(Counter, component, name, labels)
+
+    def gauge(self, component: str, name: str, **labels: object) -> Gauge:
+        """Get or create the gauge ``component/name{labels}``."""
+        return self._get_or_create(Gauge, component, name, labels)
+
+    def histogram(self, component: str, name: str,
+                  buckets: Optional[Sequence[float]] = None,
+                  **labels: object) -> Histogram:
+        """Get or create a histogram (default: latency buckets in ms)."""
+        key: MetricKey = (component, name, _labels_key(labels))
+        existing = self._metrics.get(key)
+        if existing is not None:
+            if not isinstance(existing, Histogram):
+                raise TypeError(f"{format_key(*key)} is a {existing.kind}, "
+                                f"not a histogram")
+            return existing
+        edges = tuple(buckets) if buckets is not None \
+            else DEFAULT_LATENCY_BUCKETS_MS
+        metric = Histogram(component, name, key[2], edges)
+        self._metrics[key] = metric
+        return metric
+
+    def _get_or_create(self, cls, component: str, name: str,
+                       labels: Dict[str, object]):
+        key: MetricKey = (component, name, _labels_key(labels))
+        existing = self._metrics.get(key)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise TypeError(f"{format_key(*key)} is a {existing.kind}, "
+                                f"not a {cls.kind}")
+            return existing
+        metric = cls(component, name, key[2])
+        self._metrics[key] = metric
+        return metric
+
+    # --------------------------------------------------------------- inspection
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def get(self, component: str, name: str, **labels: object) -> Optional[Metric]:
+        """The metric with this exact identity, or None."""
+        return self._metrics.get((component, name, _labels_key(labels)))
+
+    def find(self, component: Optional[str] = None,
+             name: Optional[str] = None) -> List[Metric]:
+        """Every metric matching the given component and/or name."""
+        return [metric for metric in self._metrics.values()
+                if (component is None or metric.component == component)
+                and (name is None or metric.name == name)]
+
+    def snapshot(self) -> Dict[str, object]:
+        """A flat, deterministically ordered ``{key: value}`` dict.
+
+        Counters and gauges contribute one entry; histograms contribute
+        ``:count``, ``:sum`` and cumulative ``:le_*`` entries.  Keys are
+        sorted, so two runs with the same seed serialize byte-identically.
+        """
+        items: List[Tuple[str, object]] = []
+        for metric in self._metrics.values():
+            items.extend(metric.snapshot_items())
+        return dict(sorted(items))
+
+    # ------------------------------------------------------------------ merging
+
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (summing counters, etc.)."""
+        for key, metric in other._metrics.items():
+            mine = self._metrics.get(key)
+            if mine is None:
+                if isinstance(metric, Histogram):
+                    mine = Histogram(metric.component, metric.name,
+                                     metric.labels, metric.buckets)
+                else:
+                    mine = type(metric)(metric.component, metric.name,
+                                        metric.labels)
+                self._metrics[key] = mine
+            mine.merge_from(metric)
+
+    @classmethod
+    def merged(cls, registries: Iterable["MetricsRegistry"]) -> "MetricsRegistry":
+        """A fresh registry combining *registries* (for multi-sim reports)."""
+        out = cls()
+        for registry in registries:
+            out.merge_from(registry)
+        return out

@@ -10,15 +10,27 @@ identifiers from named :class:`random.Random` streams handed out by
 :meth:`Simulator.rng`; two components asking for different stream names never
 perturb each other's sequences, so adding a new component does not change
 existing results.
+
+Finally the engine owns observability: a per-simulation
+:class:`~repro.obs.metrics.MetricsRegistry` (``sim.metrics``) that protocol
+components record into, plus its own profiling — per-label dispatch
+counters, a high-water queue-depth gauge (live events only; cancelled
+events are excluded), and wall-clock accounting surfaced via
+:meth:`Simulator.profile`.  Wall time is deliberately *not* in the
+registry: the metrics snapshot must be byte-identical across same-seed
+runs, and wall clocks are not.
 """
 
 from __future__ import annotations
 
 import heapq
 import random
+import time as _wallclock
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro.obs.capture import note_simulator
+from repro.obs.metrics import Counter, MetricsRegistry
 from repro.sim.trace import Trace
 from repro.sim.units import SECOND
 
@@ -43,10 +55,18 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     label: str = field(compare=False, default="")
     cancelled: bool = field(compare=False, default=False)
+    # The owning Simulator while the event sits in its queue; cleared on
+    # pop so a late cancel() cannot corrupt the queue accounting.
+    _owner: Optional["Simulator"] = field(compare=False, default=None,
+                                          repr=False)
 
     def cancel(self) -> None:
         """Prevent the callback from running when its deadline arrives."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._owner is not None:
+            self._owner._note_cancelled()
 
 
 class Simulator:
@@ -59,17 +79,34 @@ class Simulator:
         simulation is fully determined by ``(seed, component behaviour)``.
     trace:
         Optional pre-built :class:`Trace`; a fresh one is created otherwise.
+    metrics:
+        Optional pre-built :class:`MetricsRegistry`; a fresh one is created
+        otherwise.  Passing a shared registry lets cooperating simulations
+        aggregate, at the cost of label discipline being on the caller.
     """
 
-    def __init__(self, seed: int = 0, trace: Optional[Trace] = None) -> None:
+    def __init__(self, seed: int = 0, trace: Optional[Trace] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         self._now: Time = 0
         self._seq: int = 0
         self._queue: List[Event] = []
         self._seed = seed
         self._rngs: Dict[str, random.Random] = {}
         self.trace: Trace = trace if trace is not None else Trace(self)
+        self.metrics: MetricsRegistry = (
+            metrics if metrics is not None else MetricsRegistry())
         self._running = False
         self._events_run = 0
+        # O(1) accounting of cancelled-but-still-queued events, so that
+        # pending() and the depth gauge never scan the heap.
+        self._cancelled_in_queue = 0
+        self._queue_depth_gauge = self.metrics.gauge("engine",
+                                                     "queue_depth_max")
+        self._dispatch_counters: Dict[str, Counter] = {}
+        #: Wall-clock nanoseconds spent inside run() (profiling only; kept
+        #: out of the metrics registry to preserve snapshot determinism).
+        self.wall_time_ns: int = 0
+        note_simulator(self)
 
     # ------------------------------------------------------------------ time
 
@@ -109,8 +146,11 @@ class Simulator:
                 f"it is already {self._now} ns"
             )
         event = Event(time=when, seq=self._seq, callback=callback, label=label)
+        event._owner = self
         self._seq += 1
         heapq.heappush(self._queue, event)
+        self._queue_depth_gauge.set_max(
+            len(self._queue) - self._cancelled_in_queue)
         return event
 
     def call_later(self, delay: Time, callback: Callable[[], None], label: str = "") -> Event:
@@ -118,6 +158,18 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"negative delay {delay} for event {label!r}")
         return self.call_at(self._now + delay, callback, label)
+
+    def _note_cancelled(self) -> None:
+        """A queued event was cancelled; it no longer counts as live."""
+        self._cancelled_in_queue += 1
+
+    def _count_dispatch(self, label: str) -> None:
+        counter = self._dispatch_counters.get(label)
+        if counter is None:
+            counter = self.metrics.counter("engine", "dispatched",
+                                           label=label or "unlabeled")
+            self._dispatch_counters[label] = counter
+        counter.value += 1
 
     # --------------------------------------------------------------- running
 
@@ -136,25 +188,34 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        wall_start = _wallclock.perf_counter_ns()
         try:
             while self._queue:
                 event = self._queue[0]
+                if event.cancelled:
+                    # Lazy purge: cancelled events are popped without
+                    # running their callbacks, regardless of `until`.
+                    heapq.heappop(self._queue)
+                    self._cancelled_in_queue -= 1
+                    event._owner = None
+                    continue
                 if until is not None and event.time > until:
                     break
                 heapq.heappop(self._queue)
-                if event.cancelled:
-                    continue
+                event._owner = None
                 self._now = event.time
                 self._events_run += 1
                 if max_events is not None and self._events_run > max_events:
                     raise SimulationError(
                         f"exceeded max_events={max_events} (runaway simulation?)"
                     )
+                self._count_dispatch(event.label)
                 event.callback()
             if until is not None and self._now < until:
                 self._now = until
         finally:
             self._running = False
+            self.wall_time_ns += _wallclock.perf_counter_ns() - wall_start
 
     def run_for(self, duration: Time) -> None:
         """Run for *duration* nanoseconds of virtual time from now."""
@@ -162,7 +223,31 @@ class Simulator:
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        return len(self._queue) - self._cancelled_in_queue
+
+    # ------------------------------------------------------------- profiling
+
+    def profile(self) -> Dict[str, object]:
+        """Engine profile: simulated vs wall time plus dispatch breakdown.
+
+        Unlike ``metrics.snapshot()`` this includes wall-clock figures, so
+        it is *not* reproducible across runs — use it for performance
+        work, not for golden-file comparisons.
+        """
+        dispatched = {
+            label or "unlabeled": counter.value
+            for label, counter in sorted(self._dispatch_counters.items())
+        }
+        wall = self.wall_time_ns
+        return {
+            "events_run": self._events_run,
+            "sim_time_ns": self._now,
+            "wall_time_ns": wall,
+            "sim_to_wall_ratio": (self._now / wall) if wall else None,
+            "queue_depth_max": self._queue_depth_gauge.value,
+            "pending": self.pending(),
+            "dispatched_by_label": dispatched,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -58,6 +58,11 @@ class Trace:
             TraceRecord(time=self._sim.now, category=category, event=event, fields=fields)
         )
 
+    @property
+    def records(self) -> List[TraceRecord]:
+        """The recorded stream in emission order (read-only view)."""
+        return list(self._records)
+
     def __len__(self) -> int:
         return len(self._records)
 

@@ -1,0 +1,129 @@
+"""The repro.api Scenario facade and the keyword-only constructor shims."""
+
+import warnings
+
+import pytest
+
+from repro import DEFAULT_CONFIG, RoutingMode, Scenario, Simulator, s
+from repro.core.autoswitch import ConnectivityManager
+from repro.core.mobile_host import MobileHost
+from repro.core.policy import MobilePolicyTable
+from repro.core.tunnel import VirtualInterface
+from repro.net.addressing import IPAddress, Subnet
+from repro.sim.units import ms
+from repro.testbed import build_testbed
+
+
+# -------------------------------------------------------------------- facade
+
+def test_scenario_is_importable_from_package_root():
+    import repro
+
+    assert repro.Scenario is Scenario
+    assert "Scenario" in repro.__all__
+
+
+def test_scenario_matches_manual_path_byte_for_byte():
+    manual_sim = Simulator(seed=7)
+    manual_tb = build_testbed(manual_sim)
+    manual_sim.call_at(ms(100), manual_tb.visit_dept, label="scenario-step")
+    manual_sim.run_for(s(5))
+
+    result = (Scenario(seed=7)
+              .with_testbed()
+              .with_step(ms(100), lambda tb: tb.visit_dept())
+              .run(duration=s(5)))
+
+    from repro.obs import snapshot_to_json
+    assert result.snapshot_json() == snapshot_to_json(manual_sim.metrics)
+    assert len(result.trace) == len(manual_sim.trace)
+
+
+def test_scenario_collects_workload_returns():
+    result = (Scenario(seed=1)
+              .with_testbed()
+              .with_workload(lambda tb: "sentinel", name="probe")
+              .with_workload(lambda tb: 42)
+              .run(duration=ms(10)))
+    assert result.workloads["probe"] == "sentinel"
+    assert result.workloads["workload1"] == 42
+
+
+def test_scenario_runs_only_once():
+    scenario = Scenario(seed=1).with_testbed()
+    scenario.run(duration=ms(1))
+    with pytest.raises(RuntimeError):
+        scenario.run(duration=ms(1))
+
+
+def test_scenario_without_testbed_still_runs():
+    result = Scenario(seed=3).run(duration=ms(1))
+    assert result.testbed is None
+    assert result.sim.now == ms(1)
+
+
+# ------------------------------------------------------- deprecation shims
+
+def _home_pieces(sim):
+    return (IPAddress.parse("36.123.0.10"), Subnet.parse("36.123.0.0/24"),
+            IPAddress.parse("36.123.0.1"))
+
+
+def test_virtual_interface_positional_config_warns_but_works():
+    sim = Simulator()
+    with pytest.warns(DeprecationWarning):
+        vif = VirtualInterface(sim, "vif0", DEFAULT_CONFIG)
+    assert vif.config is DEFAULT_CONFIG
+
+
+def test_mobile_host_positional_config_warns_but_works():
+    sim = Simulator()
+    home, subnet, agent = _home_pieces(sim)
+    with pytest.warns(DeprecationWarning):
+        mh = MobileHost(sim, "mh", home, subnet, agent,
+                        DEFAULT_CONFIG, RoutingMode.TRIANGLE)
+    assert mh.config is DEFAULT_CONFIG
+    assert mh.policy.default_mode is RoutingMode.TRIANGLE
+
+
+def test_policy_table_positional_default_mode_warns_but_works():
+    with pytest.warns(DeprecationWarning):
+        table = MobilePolicyTable(RoutingMode.ENCAP_DIRECT)
+    assert table.default_mode is RoutingMode.ENCAP_DIRECT
+
+
+def test_connectivity_manager_positional_knobs_warn_but_work():
+    sim = Simulator()
+    home, subnet, agent = _home_pieces(sim)
+    mh = MobileHost(sim, "mh", home, subnet, agent)
+    with pytest.warns(DeprecationWarning):
+        manager = ConnectivityManager(mh, ms(250), ms(200), 3, 4)
+    assert manager.probe_interval == ms(250)
+    assert manager.probe_timeout == ms(200)
+    assert manager.up_threshold == 3
+    assert manager.down_threshold == 4
+
+
+def test_keyword_constructors_do_not_warn():
+    sim = Simulator()
+    home, subnet, agent = _home_pieces(sim)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        mh = MobileHost(sim, "mh", home, subnet, agent,
+                        config=DEFAULT_CONFIG,
+                        default_mode=RoutingMode.TUNNEL)
+        ConnectivityManager(mh, probe_interval=ms(100))
+        MobilePolicyTable(default_mode=RoutingMode.LOCAL)
+        VirtualInterface(sim, "vif1", config=DEFAULT_CONFIG)
+
+
+def test_connectivity_manager_defaults_come_from_config():
+    sim = Simulator()
+    home, subnet, agent = _home_pieces(sim)
+    mh = MobileHost(sim, "mh", home, subnet, agent)
+    manager = ConnectivityManager(mh)
+    timings = DEFAULT_CONFIG.autoswitch
+    assert manager.probe_interval == timings.probe_interval
+    assert manager.probe_timeout == timings.probe_timeout
+    assert manager.up_threshold == timings.up_threshold
+    assert manager.down_threshold == timings.down_threshold

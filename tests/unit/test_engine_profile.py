@@ -1,0 +1,97 @@
+"""Engine observability: dispatch counters, queue-depth gauge, cancelled
+event accounting, and the profile() split of simulated vs wall time."""
+
+from repro.sim import Simulator, ms
+
+
+def test_cancelled_events_never_invoke_callbacks():
+    sim = Simulator()
+    fired = []
+    events = [sim.call_at(ms(i + 1), lambda i=i: fired.append(i))
+              for i in range(10)]
+    for event in events[2:]:
+        event.cancel()
+    sim.run()
+    assert fired == [0, 1]
+
+
+def test_pending_is_exact_after_cancellations():
+    sim = Simulator()
+    events = [sim.call_at(ms(i + 1), lambda: None) for i in range(10)]
+    assert sim.pending() == 10
+    for event in events[:8]:
+        event.cancel()
+    assert sim.pending() == 2
+    # Double-cancel must not corrupt the count.
+    events[0].cancel()
+    assert sim.pending() == 2
+    sim.run()
+    assert sim.pending() == 0
+
+
+def test_cancel_after_run_does_not_corrupt_accounting():
+    sim = Simulator()
+    event = sim.call_at(ms(1), lambda: None)
+    sim.run()
+    event.cancel()  # already executed; must be a no-op for accounting
+    assert sim.pending() == 0
+    sim.call_at(sim.now + ms(1), lambda: None)
+    assert sim.pending() == 1
+
+
+def test_queue_depth_gauge_excludes_cancelled_events():
+    sim = Simulator()
+    events = [sim.call_at(ms(i + 1), lambda: None) for i in range(10)]
+    for event in events[:8]:
+        event.cancel()
+    # 2 live + this push = 3 live; the 8 cancelled ones must not count.
+    sim.call_at(ms(20), lambda: None)
+    depth = sim.metrics.gauge("engine", "queue_depth_max").value
+    assert depth == 10  # high-water before the cancellations...
+    sim2 = Simulator()
+    held = [sim2.call_at(ms(i + 1), lambda: None) for i in range(10)]
+    for event in held[:8]:
+        event.cancel()
+    sim2.run()
+    # ...but pushes after cancellation see only live depth.
+    sim2.call_at(sim2.now + ms(1), lambda: None)
+    assert sim2.metrics.gauge("engine", "queue_depth_max").value == 10
+    sim3 = Simulator()
+    keep = sim3.call_at(ms(5), lambda: None)
+    for _ in range(3):
+        sim3.call_at(ms(1), lambda: None).cancel()
+    sim3.call_at(ms(6), lambda: None)
+    # live = keep + new push = 2; cancelled three never inflate past 4.
+    assert sim3.metrics.gauge("engine", "queue_depth_max").value <= 4
+    assert keep is not None
+
+
+def test_dispatch_counters_label_breakdown():
+    sim = Simulator()
+    sim.call_at(ms(1), lambda: None, label="tick")
+    sim.call_at(ms(2), lambda: None, label="tick")
+    sim.call_at(ms(3), lambda: None, label="tock")
+    sim.call_at(ms(4), lambda: None)  # unlabeled
+    sim.run()
+    snap = sim.metrics.snapshot()
+    assert snap["engine/dispatched{label=tick}"] == 2
+    assert snap["engine/dispatched{label=tock}"] == 1
+    assert snap["engine/dispatched{label=unlabeled}"] == 1
+
+
+def test_profile_reports_wall_and_sim_time():
+    sim = Simulator()
+    sim.call_at(ms(5), lambda: None, label="tick")
+    sim.run()
+    profile = sim.profile()
+    assert profile["events_run"] == 1
+    assert profile["sim_time_ns"] == ms(5)
+    assert profile["wall_time_ns"] > 0
+    assert profile["dispatched_by_label"] == {"tick": 1}
+
+
+def test_wall_time_stays_out_of_the_snapshot():
+    sim = Simulator()
+    sim.call_at(ms(1), lambda: None)
+    sim.run()
+    assert not any("wall" in key for key in sim.metrics.snapshot())
