@@ -122,7 +122,8 @@ class Scenario:
         if self._ran:
             raise RuntimeError("a Scenario can only run once; build a new one")
         self._ran = True
-        sim = Simulator(seed=self.seed)
+        sim = Simulator(seed=self.seed,
+                        scheduler=self.config.engine_scheduler)
         testbed: Optional[Testbed] = None
         if self._testbed_kwargs is not None:
             testbed = build_testbed(sim, config=self.config,

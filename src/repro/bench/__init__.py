@@ -1,0 +1,40 @@
+"""Reproducible benchmark baseline for the engine and datapath fast path.
+
+``python -m repro.bench`` runs two benchmark suites and a determinism
+guard, then writes ``BENCH_engine.json`` and ``BENCH_datapath.json``:
+
+* **Engine** (:mod:`repro.bench.engine_bench`) — a deterministic
+  timer-chain workload dispatched through (a) a faithful replica of the
+  pre-fast-path engine (dataclass events, per-event heap pops, no label
+  interning; :mod:`repro.bench.baseline`), (b) the current engine with the
+  heap scheduler, and (c) the current engine with the timer wheel.  The
+  JSON reports events/sec, ns/event, and the speedup of the current engine
+  over the baseline replica *measured in the same process on the same
+  machine*, which is what makes the number honest.
+* **Datapath** (:mod:`repro.bench.datapath_bench`) — packet-construction
+  cost (slotted classes vs the old frozen dataclasses), policy/routing
+  lookup cost with the result caches on vs off (including hit rates), the
+  cost of a disabled trace category, and a whole-testbed scenario
+  regeneration timed end to end.
+* **Guard** (:mod:`repro.bench.guard`) — re-runs the same seeded scenario
+  with the fast path on and off (caches disabled, verbose tracing forced,
+  wheel vs heap scheduler) and asserts the metric snapshots are
+  byte-identical after stripping the documented cache-diagnostic counters.
+  This is the CI tripwire: an optimisation that changes results fails the
+  build; one that merely changes speed cannot.
+
+Benchmarks measure wall time, so their numbers vary run to run; the
+*workloads* are seeded and fixed, so the counted quantities (events run,
+packets built, cache hits) are exactly reproducible.
+"""
+
+from repro.bench.datapath_bench import run_datapath_bench
+from repro.bench.engine_bench import run_engine_bench
+from repro.bench.guard import run_determinism_guard, strip_cache_metrics
+
+__all__ = [
+    "run_engine_bench",
+    "run_datapath_bench",
+    "run_determinism_guard",
+    "strip_cache_metrics",
+]

@@ -1,0 +1,85 @@
+"""Benchmark CLI.
+
+Usage::
+
+    python -m repro.bench              # full run, writes BENCH_*.json here
+    python -m repro.bench --quick      # smaller workloads (CI-friendly)
+    python -m repro.bench --out DIR    # write the JSON files elsewhere
+
+Runs the engine benchmark, the datapath benchmarks, and the same-seed
+determinism guard, then writes ``BENCH_engine.json`` and
+``BENCH_datapath.json``.  The exit status reflects *correctness only*:
+0 unless the determinism guard fails.  Speed numbers are reported, never
+gated on — wall time belongs to the machine, identity belongs to us.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.datapath_bench import run_datapath_bench
+from repro.bench.engine_bench import run_engine_bench
+from repro.bench.guard import run_determinism_guard
+
+
+def _write(path: Path, doc: dict) -> None:
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path}")
+
+
+def main(argv: list) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.bench",
+                                     description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller workloads (for CI smoke runs)")
+    parser.add_argument("--out", type=Path, default=Path("."),
+                        help="directory for BENCH_*.json (default: cwd)")
+    args = parser.parse_args(argv)
+    args.out.mkdir(parents=True, exist_ok=True)
+
+    print("== engine benchmark ==")
+    engine = run_engine_bench(quick=args.quick)
+    speedups = engine["speedup_vs_baseline"]
+    print(f"baseline replica : {engine['baseline']['ns_per_event']:8.1f} ns/event")
+    print(f"heap scheduler   : {engine['heap']['ns_per_event']:8.1f} ns/event "
+          f"({speedups['heap']:.2f}x)")
+    print(f"timer wheel      : {engine['wheel']['ns_per_event']:8.1f} ns/event "
+          f"({speedups['wheel']:.2f}x)")
+
+    print("== datapath benchmarks ==")
+    datapath = run_datapath_bench(quick=args.quick)
+    packets = datapath["packet_construction"]
+    print(f"packet build     : {packets['current_ns_per_packet']:8.1f} ns/packet "
+          f"({packets['speedup']:.2f}x vs dataclasses)")
+    policy = datapath["policy_lookup"]
+    print(f"policy lookup    : {policy['cached_ns_per_lookup']:8.1f} ns cached "
+          f"({policy['speedup']:.2f}x, hit rate {policy['cache_hit_rate']:.3f})")
+    routing = datapath["routing_lookup"]
+    print(f"route lookup     : {routing['cached_ns_per_lookup']:8.1f} ns cached "
+          f"({routing['speedup']:.2f}x, hit rate {routing['cache_hit_rate']:.3f})")
+    scenario = datapath["scenario_regeneration"]
+    print(f"scenario regen   : {scenario['events_per_sec']:,.0f} events/sec")
+
+    print("== determinism guard ==")
+    guard = run_determinism_guard()
+    for run in guard["runs"]:
+        status = "ok" if run["matches_reference"] else "MISMATCH"
+        print(f"{run['config']:<20} {run['events_run']:>7} events  {status}")
+    datapath["determinism_guard"] = guard
+
+    _write(args.out / "BENCH_engine.json", engine)
+    _write(args.out / "BENCH_datapath.json", datapath)
+
+    if not guard["passed"]:
+        print("determinism guard FAILED: fast path changed simulation results",
+              file=sys.stderr)
+        return 1
+    print("determinism guard passed: snapshots byte-identical across configs")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

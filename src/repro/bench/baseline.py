@@ -1,0 +1,168 @@
+"""Faithful replicas of the pre-fast-path engine and packet classes.
+
+The acceptance bar for the fast path is a speedup measured *in the same
+run* against what the code used to do, not against a number someone wrote
+down once.  This module therefore preserves the old implementations —
+dataclass events on a raw ``heapq`` with per-event pops, frozen-dataclass
+packets — in benchmark-only form.  They are replicas of the engine as of
+the observability PR (see ``git log``), kept behaviorally identical so the
+ratio reported by ``python -m repro.bench`` means what it claims.
+
+Nothing outside :mod:`repro.bench` may import this module.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional
+
+from repro.net.addressing import IPAddress
+from repro.net.packet import IP_HEADER_BYTES, UDP_HEADER_BYTES
+from repro.obs.metrics import Counter, MetricsRegistry
+
+Time = int
+
+
+@dataclass(order=True)
+class BaselineEvent:
+    """The old ``Event``: an order-generated dataclass."""
+
+    time: Time
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(compare=False, default="")
+    cancelled: bool = field(compare=False, default=False)
+    _owner: Optional["BaselineSimulator"] = field(compare=False, default=None,
+                                                  repr=False)
+
+    def cancel(self) -> None:
+        if self.cancelled:
+            return
+        self.cancelled = True
+        if self._owner is not None:
+            self._owner._note_cancelled()
+
+
+class BaselineSimulator:
+    """The old engine loop: raw heapq, one pop per event, no batching.
+
+    Only the scheduling/dispatch machinery is replicated (that is what the
+    engine benchmark exercises); tracing and RNG streams are omitted
+    because the benchmark workload uses neither.
+    """
+
+    def __init__(self) -> None:
+        self._now: Time = 0
+        self._seq = 0
+        self._queue: List[BaselineEvent] = []
+        self.metrics = MetricsRegistry()
+        self._events_run = 0
+        self._cancelled_in_queue = 0
+        self._queue_depth_gauge = self.metrics.gauge("engine",
+                                                     "queue_depth_max")
+        self._dispatch_counters: Dict[str, Counter] = {}
+
+    @property
+    def now(self) -> Time:
+        return self._now
+
+    @property
+    def events_run(self) -> int:
+        return self._events_run
+
+    def call_at(self, when: Time, callback: Callable[[], None],
+                label: str = "") -> BaselineEvent:
+        event = BaselineEvent(time=when, seq=self._seq, callback=callback,
+                              label=label)
+        event._owner = self
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        self._queue_depth_gauge.set_max(
+            len(self._queue) - self._cancelled_in_queue)
+        return event
+
+    def call_later(self, delay: Time, callback: Callable[[], None],
+                   label: str = "") -> BaselineEvent:
+        return self.call_at(self._now + delay, callback, label)
+
+    def _note_cancelled(self) -> None:
+        self._cancelled_in_queue += 1
+
+    def _count_dispatch(self, label: str) -> None:
+        counter = self._dispatch_counters.get(label)
+        if counter is None:
+            counter = self.metrics.counter("engine", "dispatched",
+                                           label=label or "unlabeled")
+            self._dispatch_counters[label] = counter
+        counter.value += 1
+
+    def run(self, until: Optional[Time] = None) -> None:
+        while self._queue:
+            event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                self._cancelled_in_queue -= 1
+                event._owner = None
+                continue
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._queue)
+            event._owner = None
+            self._now = event.time
+            self._events_run += 1
+            self._count_dispatch(event.label)
+            event.callback()
+        if until is not None and self._now < until:
+            self._now = until
+
+
+# --------------------------------------------------------- baseline packets
+
+@dataclass(frozen=True)
+class BaselineAppData:
+    """The old frozen-dataclass ``AppData``."""
+
+    content: object = None
+    size_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes < 0:
+            raise ValueError("payload size cannot be negative")
+
+
+@dataclass(frozen=True)
+class BaselineUDPDatagram:
+    """The old frozen-dataclass ``UDPDatagram``."""
+
+    src_port: int
+    dst_port: int
+    payload: BaselineAppData = field(default_factory=BaselineAppData)
+
+    def __post_init__(self) -> None:
+        for port in (self.src_port, self.dst_port):
+            if not 0 <= port <= 0xFFFF:
+                raise ValueError(f"bad UDP port {port}")
+
+    @property
+    def size_bytes(self) -> int:
+        return UDP_HEADER_BYTES + self.payload.size_bytes
+
+
+@dataclass(frozen=True)
+class BaselineIPPacket:
+    """The old frozen-dataclass ``IPPacket`` (ident supplied by caller)."""
+
+    src: IPAddress
+    dst: IPAddress
+    protocol: int
+    payload: object
+    ttl: int = 64
+    ident: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return IP_HEADER_BYTES + self.payload.size_bytes  # type: ignore[attr-defined]
+
+    def decremented(self) -> "BaselineIPPacket":
+        return replace(self, ttl=self.ttl - 1)

@@ -1,0 +1,263 @@
+"""Datapath microbenchmarks: packets, lookup caches, trace gating, scenario.
+
+Four measurements, each deterministic in *what* it does (wall time is the
+only non-reproducible output):
+
+* packet construction — slotted classes vs the old frozen dataclasses;
+* Mobile Policy Table lookups — result cache on vs off, with hit rates;
+* routing-table LPM lookups — result cache on vs off, with hit rates;
+* trace emission — an enabled category vs a gated-off one;
+
+plus one macro measurement: regenerating a full testbed scenario (build,
+traffic, a mid-run handoff) end to end, which is what a user actually
+waits for when re-running an experiment.
+"""
+
+from __future__ import annotations
+
+import time as _wallclock
+from typing import Dict
+
+from repro.bench.baseline import (
+    BaselineAppData,
+    BaselineIPPacket,
+    BaselineUDPDatagram,
+)
+from repro.config import DEFAULT_CONFIG
+from repro.core.policy import MobilePolicyTable, RoutingMode
+from repro.net.addressing import IPAddress, Subnet
+from repro.net.packet import PROTO_UDP, AppData, IPPacket, UDPDatagram
+from repro.net.routing import RouteEntry, RoutingTable
+from repro.sim.engine import Simulator
+from repro.sim.units import ms, s
+from repro.testbed.topology import build_testbed
+from repro.workloads.udp_echo import UdpEchoResponder, UdpEchoStream
+
+
+def _time_ns(fn, *args) -> int:
+    start = _wallclock.perf_counter_ns()
+    fn(*args)
+    return _wallclock.perf_counter_ns() - start
+
+
+# ----------------------------------------------------- packet construction
+
+def _build_packets_current(n: int, src: IPAddress, dst: IPAddress) -> None:
+    for i in range(n):
+        payload = AppData(content=i, size_bytes=512)
+        datagram = UDPDatagram(src_port=7, dst_port=7, payload=payload)
+        IPPacket(src=src, dst=dst, protocol=PROTO_UDP, payload=datagram,
+                 ident=i).decremented()
+
+
+def _build_packets_baseline(n: int, src: IPAddress, dst: IPAddress) -> None:
+    for i in range(n):
+        payload = BaselineAppData(content=i, size_bytes=512)
+        datagram = BaselineUDPDatagram(src_port=7, dst_port=7,
+                                       payload=payload)
+        BaselineIPPacket(src=src, dst=dst, protocol=PROTO_UDP,
+                         payload=datagram, ident=i).decremented()
+
+
+def _packet_bench(n: int) -> Dict[str, object]:
+    src = IPAddress.parse("36.135.0.10")
+    dst = IPAddress.parse("36.8.0.20")
+    _build_packets_baseline(2_000, src, dst)   # warm-up
+    _build_packets_current(2_000, src, dst)
+    baseline_ns = _time_ns(_build_packets_baseline, n, src, dst)
+    current_ns = _time_ns(_build_packets_current, n, src, dst)
+    return {
+        "n_packets": n,
+        "baseline_ns_per_packet": baseline_ns / n,
+        "current_ns_per_packet": current_ns / n,
+        "speedup": baseline_ns / current_ns,
+    }
+
+
+# --------------------------------------------------------- policy lookups
+
+def _policy_table(cache_size: int) -> MobilePolicyTable:
+    table = MobilePolicyTable(default_mode=RoutingMode.TUNNEL,
+                              cache_size=cache_size)
+    table.set_policy(Subnet(IPAddress.parse("36.8.0.0"), 24),
+                     RoutingMode.LOCAL)
+    table.set_policy(Subnet(IPAddress.parse("36.40.0.0"), 24),
+                     RoutingMode.TRIANGLE)
+    table.set_policy(Subnet(IPAddress.parse("36.0.0.0"), 8),
+                     RoutingMode.ENCAP_DIRECT)
+    for host in range(8):
+        table.set_policy(IPAddress.parse(f"36.8.0.{100 + host}"),
+                         RoutingMode.TUNNEL, origin="probe")
+    return table
+
+#: Distinct destinations the lookup loop cycles through (a mobile host
+#: talks to a handful of correspondents, not the whole Internet).
+POLICY_DESTINATIONS = 32
+
+
+def _policy_bench(n: int) -> Dict[str, object]:
+    destinations = [IPAddress.parse(f"36.8.0.{20 + i}")
+                    for i in range(POLICY_DESTINATIONS)]
+
+    def run(table: MobilePolicyTable) -> None:
+        for i in range(n):
+            table.lookup(destinations[i % POLICY_DESTINATIONS])
+
+    cached, uncached = _policy_table(128), _policy_table(0)
+    run(_policy_table(128))                    # warm-up
+    cached_ns = _time_ns(run, cached)
+    uncached_ns = _time_ns(run, uncached)
+    hits = cached._cache_hit_counter.value
+    misses = cached._cache_miss_counter.value
+    return {
+        "n_lookups": n,
+        "distinct_destinations": POLICY_DESTINATIONS,
+        "cached_ns_per_lookup": cached_ns / n,
+        "uncached_ns_per_lookup": uncached_ns / n,
+        "speedup": uncached_ns / cached_ns,
+        "cache_hit_rate": hits / (hits + misses),
+    }
+
+
+# -------------------------------------------------------- routing lookups
+
+class _BenchInterface:
+    """The minimal interface surface RoutingTable touches."""
+
+    is_up = True
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
+def _routing_table(cache_size: int) -> RoutingTable:
+    table = RoutingTable(cache_size=cache_size)
+    eth = _BenchInterface("bench-eth0")
+    radio = _BenchInterface("bench-strip0")
+    table.add(RouteEntry(destination=Subnet(IPAddress.parse("36.8.0.0"), 24),
+                         interface=eth))
+    table.add(RouteEntry(destination=Subnet(IPAddress.parse("36.135.0.0"), 24),
+                         interface=eth))
+    table.add(RouteEntry(destination=Subnet(IPAddress.parse("36.134.0.0"), 24),
+                         interface=radio))
+    for host in range(8):
+        table.add_host_route(IPAddress.parse(f"36.8.0.{100 + host}"), eth)
+    table.add_default(eth, gateway=IPAddress.parse("36.8.0.1"))
+    return table
+
+
+def _routing_bench(n: int) -> Dict[str, object]:
+    destinations = [IPAddress.parse(f"36.8.0.{20 + i}")
+                    for i in range(POLICY_DESTINATIONS)]
+
+    def run(table: RoutingTable) -> None:
+        for i in range(n):
+            table.lookup(destinations[i % POLICY_DESTINATIONS])
+
+    cached, uncached = _routing_table(256), _routing_table(0)
+    run(_routing_table(256))                   # warm-up
+    cached_ns = _time_ns(run, cached)
+    uncached_ns = _time_ns(run, uncached)
+    info = cached.cache_info()
+    return {
+        "n_lookups": n,
+        "distinct_destinations": POLICY_DESTINATIONS,
+        "cached_ns_per_lookup": cached_ns / n,
+        "uncached_ns_per_lookup": uncached_ns / n,
+        "speedup": uncached_ns / cached_ns,
+        "cache_hit_rate": info["hits"] / (info["hits"] + info["misses"]),
+    }
+
+
+# ----------------------------------------------------------- trace gating
+
+def _trace_bench(n: int) -> Dict[str, object]:
+    sim = Simulator(seed=0)
+    trace = sim.trace
+    packet = IPPacket(src=IPAddress.parse("36.135.0.10"),
+                      dst=IPAddress.parse("36.8.0.20"),
+                      protocol=PROTO_UDP,
+                      payload=UDPDatagram(7, 7, AppData(None, 512)))
+
+    def emit_enabled() -> None:
+        for _ in range(n):
+            if trace.wants("ip"):
+                trace.emit("ip", "send", host="bench",
+                           packet=packet.describe())
+
+    def emit_gated() -> None:
+        for _ in range(n):
+            # "policy.cache" is in VERBOSE_CATEGORIES: off by default.
+            if trace.wants("policy.cache"):
+                trace.emit("policy.cache", "hit", host="bench",
+                           packet=packet.describe())
+
+    enabled_ns = _time_ns(emit_enabled)
+    trace.clear()
+    gated_ns = _time_ns(emit_gated)
+    return {
+        "n_emits": n,
+        "enabled_ns_per_emit": enabled_ns / n,
+        "gated_ns_per_emit": gated_ns / n,
+        "speedup_when_gated": enabled_ns / gated_ns,
+    }
+
+
+# ------------------------------------------------- scenario regeneration
+
+def run_scenario(seed: int = 0, scheduler: str = "heap",
+                 policy_cache: int = 128, route_cache: int = 256,
+                 duration_ns: int = s(6)) -> Simulator:
+    """The standard benchmark/guard scenario, returned for inspection.
+
+    Figure-5 testbed, a 20 ms UDP echo stream from the mobile host to the
+    department correspondent, and a mid-run handoff to the department net
+    (so policy/route cache invalidation runs under load).  Deterministic
+    for a given (seed, duration); the fast-path knobs must not change any
+    metric other than the documented cache diagnostics.
+    """
+    config = DEFAULT_CONFIG.with_overrides(
+        engine_scheduler=scheduler,
+        policy_cache_size=policy_cache,
+        route_cache_size=route_cache,
+    )
+    sim = Simulator(seed=seed, scheduler=scheduler)
+    testbed = build_testbed(sim, config, with_remote_correspondent=False,
+                            with_dhcp=False)
+    UdpEchoResponder(testbed.correspondent)
+    stream = UdpEchoStream(testbed.mobile, testbed.addresses.ch_dept,
+                           interval=ms(20))
+    stream.start()
+    sim.call_later(s(2), lambda: testbed.visit_dept(), label="bench-handoff")
+    sim.run(until=duration_ns)
+    stream.stop()
+    return sim
+
+
+def _scenario_bench(quick: bool) -> Dict[str, object]:
+    duration = s(3) if quick else s(6)
+    wall_start = _wallclock.perf_counter_ns()
+    sim = run_scenario(seed=0, duration_ns=duration)
+    wall_ns = _wallclock.perf_counter_ns() - wall_start
+    profile = sim.profile()
+    return {
+        "duration_sim_ns": duration,
+        "wall_ns": wall_ns,
+        "events_run": profile["events_run"],
+        "events_per_sec": profile["events_run"] * 1e9 / wall_ns,
+        "scheduler": profile["scheduler"],
+    }
+
+
+def run_datapath_bench(quick: bool = False) -> Dict[str, object]:
+    """Run every datapath benchmark; returns the BENCH_datapath doc."""
+    n = 20_000 if quick else 100_000
+    return {
+        "bench": "datapath",
+        "quick": quick,
+        "packet_construction": _packet_bench(n),
+        "policy_lookup": _policy_bench(n),
+        "routing_lookup": _routing_bench(n),
+        "trace_emit": _trace_bench(n // 4),
+        "scenario_regeneration": _scenario_bench(quick),
+    }

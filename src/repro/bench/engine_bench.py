@@ -1,0 +1,111 @@
+"""Engine microbenchmark: baseline replica vs heap vs timer wheel.
+
+The workload is a fixed, fully deterministic mesh of timer chains chosen to
+look like the simulator's real life: mostly short relative timers (link
+and per-packet costs), periodic same-timestamp bursts (a batch of FIFO
+deliveries landing together), and a steady trickle of cancellations
+(retransmit timers that get acked).  No RNG, no trace, no packet objects —
+this isolates the scheduling/dispatch machinery.
+"""
+
+from __future__ import annotations
+
+import time as _wallclock
+from typing import Dict
+
+from repro.bench.baseline import BaselineSimulator
+from repro.sim.engine import Simulator
+
+#: Timer chains started at slightly staggered times.
+CHAINS = 32
+#: Every burst interval, this many events land on one timestamp.
+BURST = 8
+
+
+def _noop() -> None:
+    return None
+
+
+def _run_workload(sim, n_events: int) -> Dict[str, object]:
+    """Drive *sim* through the standard workload; returns measurements.
+
+    *sim* needs the engine API subset: ``call_at``/``call_later`` (whose
+    return value has ``cancel()``), ``run()``, ``events_run``.
+    """
+    state = {"count": 0}
+
+    def tick() -> None:
+        count = state["count"] = state["count"] + 1
+        if count >= n_events:
+            return
+        sim.call_later(1_000 + (count % 7) * 37, tick, "bench-tick")
+        if count % 50 == 0:
+            # A timer that never fires: armed, then immediately cancelled
+            # (the fate of most retransmission timers).
+            sim.call_later(500_000, _noop, "bench-cancelled").cancel()
+        if count % 97 == 0:
+            # A burst: BURST events sharing one future timestamp.
+            when = sim.now + 4_096
+            for _ in range(BURST):
+                sim.call_at(when, _noop, "bench-burst")
+
+    for chain in range(CHAINS):
+        sim.call_later(chain * 11, tick, "bench-tick")
+
+    wall_start = _wallclock.perf_counter_ns()
+    sim.run()
+    wall_ns = _wallclock.perf_counter_ns() - wall_start
+
+    events = sim.events_run
+    return {
+        "events_run": events,
+        "wall_ns": wall_ns,
+        "ns_per_event": wall_ns / events,
+        "events_per_sec": events * 1e9 / wall_ns,
+    }
+
+
+def run_engine_bench(quick: bool = False) -> Dict[str, object]:
+    """Run the workload on all three engines; returns the BENCH_engine doc.
+
+    The baseline replica runs in the same process moments before the
+    current engine, so the reported ``speedup_vs_baseline`` compares like
+    with like (same machine, same load, same interpreter state).
+    """
+    n_events = 40_000 if quick else 200_000
+
+    # Warm-up: populate type caches and counter dicts outside the timed
+    # region, identically for every contender.
+    _run_workload(BaselineSimulator(), 2_000)
+    _run_workload(Simulator(scheduler="heap"), 2_000)
+    _run_workload(Simulator(scheduler="wheel"), 2_000)
+
+    baseline = _run_workload(BaselineSimulator(), n_events)
+    heap = _run_workload(Simulator(scheduler="heap"), n_events)
+    wheel = _run_workload(Simulator(scheduler="wheel"), n_events)
+
+    if heap["events_run"] != baseline["events_run"] \
+            or wheel["events_run"] != baseline["events_run"]:
+        raise AssertionError(
+            "engine benchmark dispatched different event counts: "
+            f"baseline={baseline['events_run']} heap={heap['events_run']} "
+            f"wheel={wheel['events_run']}")
+
+    best = min(heap["ns_per_event"], wheel["ns_per_event"])
+    return {
+        "bench": "engine",
+        "workload": {
+            "n_events": n_events,
+            "chains": CHAINS,
+            "burst": BURST,
+            "quick": quick,
+        },
+        "baseline": baseline,
+        "heap": heap,
+        "wheel": wheel,
+        "speedup_vs_baseline": {
+            "heap": baseline["ns_per_event"] / heap["ns_per_event"],
+            "wheel": baseline["ns_per_event"] / wheel["ns_per_event"],
+            "best": baseline["ns_per_event"] / best,
+        },
+    }

@@ -235,6 +235,18 @@ class Config:
     #: Default TTL stamped on locally originated packets.
     default_ttl: int = 64
 
+    # ------------------------------------------------------------ fast path
+    #: Event-queue implementation for Scenario-built simulators: "heap"
+    #: (binary heap, default) or "wheel" (hierarchical timer wheel).  Both
+    #: order events identically; the choice affects wall time only.
+    engine_scheduler: str = "heap"
+    #: Entries in the Mobile Policy Table's per-destination lookup cache
+    #: (0 disables caching).
+    policy_cache_size: int = 128
+    #: Entries in each routing table's per-destination LPM cache
+    #: (0 disables caching).
+    route_cache_size: int = 256
+
     def with_overrides(self, **kwargs: object) -> "Config":
         """Return a copy with some fields replaced (experiments use this)."""
         return replace(self, **kwargs)  # type: ignore[arg-type]

@@ -82,7 +82,8 @@ class MobileHost(Host):
         self.vif: VirtualInterface = install_tunnel(self, name="vif")
         self.vif.endpoint_selector = self._select_endpoints
         self.policy = MobilePolicyTable(default_mode=default_mode,
-                                        metrics=sim.metrics, owner=name)
+                                        metrics=sim.metrics, owner=name,
+                                        cache_size=config.policy_cache_size)
         self.registration = RegistrationClient(self, home_address, home_agent)
         self.ip.route_hook = self._mobile_route
 
@@ -140,6 +141,7 @@ class MobileHost(Host):
         self.care_of = None
         self.active_interface = iface
         self.foreign_agent = None
+        self.policy.invalidate_cache()
         self.notifier.attachment_changed(profile_of(iface))
 
     def start_visiting(self, iface: NetworkInterface, care_of: IPAddress,
@@ -164,6 +166,7 @@ class MobileHost(Host):
         old_care_of = self.care_of
         self.care_of = care_of
         self.active_interface = iface
+        self.policy.invalidate_cache()
         self.sim.trace.emit("mobile", "visiting", host=self.name,
                             care_of=str(care_of),
                             previous=str(old_care_of) if old_care_of else None)
@@ -192,6 +195,7 @@ class MobileHost(Host):
         self.foreign_agent = fa_address
         self.care_of = fa_address
         self.active_interface = iface
+        self.policy.invalidate_cache()
         self.sim.trace.emit("mobile", "visiting_fa", host=self.name,
                             foreign_agent=str(fa_address))
         self.registration.register(
@@ -300,8 +304,10 @@ class MobileHost(Host):
             # the home address), so the IETF baseline sends direct with
             # the home source and lets the FA route it — i.e. the triangle.
             mode = RoutingMode.TRIANGLE
-        self.sim.trace.emit("policy", "decision", host=self.name,
-                            destination=str(dst), mode=mode.value)
+        trace = self.sim.trace
+        if trace.wants("policy"):
+            trace.emit("policy", "decision", host=self.name,
+                       destination=str(dst), mode=mode.value)
         if mode is RoutingMode.TUNNEL or mode is RoutingMode.ENCAP_DIRECT:
             # Route into the VIF; the endpoint selector picks the outer
             # destination (home agent, or the correspondent itself for the

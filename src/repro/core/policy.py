@@ -30,10 +30,12 @@ from __future__ import annotations
 
 import enum
 import warnings
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.net.addressing import IPAddress, Subnet
+from repro.obs.capture import note_policy_table
 from repro.obs.metrics import MetricsRegistry
 
 
@@ -89,7 +91,8 @@ class MobilePolicyTable:
     def __init__(self, *_shim: RoutingMode,
                  default_mode: Optional[RoutingMode] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 owner: str = "") -> None:
+                 owner: str = "",
+                 cache_size: int = 128) -> None:
         if _shim:
             warnings.warn(
                 "passing default_mode positionally to MobilePolicyTable is "
@@ -97,9 +100,15 @@ class MobilePolicyTable:
                 DeprecationWarning, stacklevel=2)
             if default_mode is None:
                 default_mode = _shim[0]
-        self.default_mode = default_mode if default_mode is not None \
+        self._default_mode = default_mode if default_mode is not None \
             else RoutingMode.TUNNEL
         self._entries: List[PolicyEntry] = []
+        # Per-destination LRU memo of (entry, mode): one linear LPM scan per
+        # distinct destination between invalidations.  Any table mutation —
+        # set_policy, clear_policy, probe results, default-mode changes,
+        # handoffs — clears it wholesale; correctness never depends on it.
+        self._cache_size = cache_size
+        self._cache: "OrderedDict[IPAddress, Tuple[Optional[PolicyEntry], RoutingMode]]" = OrderedDict()
         # A table built without a registry (bare tables in tests) records
         # into a private one, keeping the lookup path branch-free.
         self._metrics = metrics if metrics is not None else MetricsRegistry()
@@ -112,12 +121,35 @@ class MobilePolicyTable:
         }
         self._probe_fallback_counter = self._metrics.counter(
             "policy", "probe_fallbacks", host=owner)
+        # Cache diagnostics.  These are perf-observability counters, not
+        # simulation results: the determinism guard (repro.bench.guard)
+        # strips ``policy/lookup_cache`` before comparing snapshots, since
+        # hit/miss splits legitimately differ with cache configuration.
+        self._cache_hit_counter = self._metrics.counter(
+            "policy", "lookup_cache", host=owner, result="hit")
+        self._cache_miss_counter = self._metrics.counter(
+            "policy", "lookup_cache", host=owner, result="miss")
+        note_policy_table(self)
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __iter__(self):
         return iter(self._entries)
+
+    @property
+    def default_mode(self) -> RoutingMode:
+        """Mode used when no entry matches (cached lookups track changes)."""
+        return self._default_mode
+
+    @default_mode.setter
+    def default_mode(self, mode: RoutingMode) -> None:
+        self._default_mode = mode
+        self._cache.clear()
+
+    def invalidate_cache(self) -> None:
+        """Drop every memoized lookup (any mutation calls this)."""
+        self._cache.clear()
 
     def set_policy(self, destination: Union[Subnet, IPAddress],
                    mode: RoutingMode, origin: str = "static") -> PolicyEntry:
@@ -128,6 +160,7 @@ class MobilePolicyTable:
                          if entry.destination != prefix]
         entry = PolicyEntry(destination=prefix, mode=mode, origin=origin)
         self._entries.append(entry)
+        self._cache.clear()
         return entry
 
     def clear_policy(self, destination: Union[Subnet, IPAddress]) -> None:
@@ -136,6 +169,7 @@ class MobilePolicyTable:
             else Subnet(destination, 32)
         self._entries = [entry for entry in self._entries
                          if entry.destination != prefix]
+        self._cache.clear()
 
     def lookup_entry(self, dst: IPAddress) -> Optional[PolicyEntry]:
         """The most specific entry covering *dst*, if any."""
@@ -148,13 +182,37 @@ class MobilePolicyTable:
         return best
 
     def lookup(self, dst: IPAddress) -> RoutingMode:
-        """The routing mode for *dst* (default when no entry matches)."""
+        """The routing mode for *dst* (default when no entry matches).
+
+        Results are memoized per destination; a cache hit records exactly
+        the same ``policy/lookups`` counter increment the scan would have,
+        so the metrics snapshot is identical with the cache on or off
+        (only the diagnostic ``policy/lookup_cache`` counters differ).
+        """
+        cache = self._cache
+        cached = cache.get(dst)
+        if cached is not None:
+            cache.move_to_end(dst)
+            self._cache_hit_counter.value += 1
+            entry, mode = cached
+            if entry is not None:
+                self._lookup_counters[(mode, "hit")].value += 1
+            else:
+                self._lookup_counters[(mode, "miss")].value += 1
+            return mode
+        self._cache_miss_counter.value += 1
         entry = self.lookup_entry(dst)
         if entry is not None:
-            self._lookup_counters[(entry.mode, "hit")].value += 1
-            return entry.mode
-        self._lookup_counters[(self.default_mode, "miss")].value += 1
-        return self.default_mode
+            mode = entry.mode
+            self._lookup_counters[(mode, "hit")].value += 1
+        else:
+            mode = self._default_mode
+            self._lookup_counters[(mode, "miss")].value += 1
+        if self._cache_size > 0:
+            cache[dst] = (entry, mode)
+            if len(cache) > self._cache_size:
+                cache.popitem(last=False)
+        return mode
 
     # --------------------------------------------------------- dynamic updates
 
@@ -166,6 +224,7 @@ class MobilePolicyTable:
         A successful probe removes a previous dynamic fallback.
         """
         entry = self.lookup_entry(dst)
+        self._cache.clear()
         if not reachable:
             self._probe_fallback_counter.value += 1
             self.set_policy(dst, RoutingMode.TUNNEL, origin="probe")
@@ -173,6 +232,31 @@ class MobilePolicyTable:
         if entry is not None and entry.origin == "probe" \
                 and entry.destination == Subnet(dst, 32):
             self.clear_policy(dst)
+
+    # ------------------------------------------------------------- inspection
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Structured dump: default mode plus every entry with its origin.
+
+        Entries are sorted most-specific-first (the lookup's preference
+        order), so the dump reads as the table's decision sequence.  The
+        observability exporter renders this in its human-readable report.
+        """
+        return {
+            "owner": self._owner,
+            "default_mode": self._default_mode.value,
+            "entries": [
+                {
+                    "destination": str(entry.destination),
+                    "mode": entry.mode.value,
+                    "origin": entry.origin,
+                }
+                for entry in sorted(
+                    self._entries,
+                    key=lambda e: (-e.destination.prefix_len,
+                                   e.destination.network.value))
+            ],
+        }
 
     def describe(self) -> str:
         """Dump for examples/debugging, one entry per line."""
@@ -183,3 +267,12 @@ class MobilePolicyTable:
             lines.append(f"{entry.destination} -> {entry.mode.value} "
                          f"({entry.origin})")
         return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        owner = f" owner={self._owner!r}" if self._owner else ""
+        body = "; ".join(
+            f"{entry.destination}->{entry.mode.value}({entry.origin})"
+            for entry in self._entries)
+        return (f"<MobilePolicyTable{owner} "
+                f"default={self._default_mode.value}"
+                f"{' ' + body if body else ''}>")

@@ -121,10 +121,12 @@ class _PendingRegistration:
 class RegistrationClient:
     """Mobile-host side of the registration protocol."""
 
-    _idents = itertools.count(1)
-
     def __init__(self, host: "Host", home_address: IPAddress,
                  home_agent: IPAddress) -> None:
+        # Per-instance, not a class attribute: a process-wide counter would
+        # leak state between simulations and make same-seed runs emit
+        # different identifications in their traces.
+        self._idents = itertools.count(1)
         self.host = host
         self.sim = host.sim
         self.config = host.config

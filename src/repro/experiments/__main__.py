@@ -21,7 +21,12 @@ from __future__ import annotations
 
 import sys
 
-from repro.obs import capture_simulators, format_reports
+from repro.obs import (
+    capture_policy_tables,
+    capture_simulators,
+    format_policy_tables,
+    format_reports,
+)
 
 from repro.experiments.exp_autoswitch import run_autoswitch_experiment
 from repro.experiments.exp_device_switch import run_device_switch_experiment
@@ -75,12 +80,15 @@ def main(argv: list) -> int:
         banner = f"=== {name}: {title} ==="
         print(banner)
         if with_metrics:
-            with capture_simulators() as captured:
+            with capture_simulators() as captured, \
+                    capture_policy_tables() as tables:
                 report = runner()
             print(report)
             print()
             print(format_reports((sim.metrics for sim in captured),
                                  title=f"{name} metrics"))
+            if tables:
+                print(format_policy_tables(tables))
         else:
             print(runner())
         print()

@@ -56,7 +56,7 @@ class NetworkInterface:
         self.device = device
         self.config = config
         self.host: Optional["Host"] = None
-        self.state = InterfaceState.DOWN
+        self._state = InterfaceState.DOWN
         self._addresses: List[IPAddress] = []
         self.subnet: Optional[Subnet] = None
         self._rng = sim.rng(f"device:{name}")
@@ -131,9 +131,25 @@ class NetworkInterface:
     # ------------------------------------------------------- state machine
 
     @property
+    def state(self) -> InterfaceState:
+        """Device operational state."""
+        return self._state
+
+    @state.setter
+    def state(self, value: InterfaceState) -> None:
+        self._state = value
+        # Route lookups are memoized per destination and filtered by
+        # interface liveness, so any state change on an attached interface
+        # invalidates its host's cache.  Transitions are rare (handoffs);
+        # lookups are per-packet.
+        host = self.host
+        if host is not None:
+            host.ip.routes.invalidate_cache()
+
+    @property
     def is_up(self) -> bool:
         """True when the device is operational."""
-        return self.state == InterfaceState.UP
+        return self._state == InterfaceState.UP
 
     def _jittered(self, base: int) -> int:
         return jittered(self._rng, base, self.config.jitter)

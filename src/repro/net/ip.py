@@ -58,7 +58,7 @@ class IPStack:
         self.host = host
         self.config = config
         self.timings = timings
-        self.routes = RoutingTable()
+        self.routes = RoutingTable(cache_size=config.route_cache_size)
         self.forwarding = False
         self.route_hook: Optional[RouteHook] = None
         self.forward_filter: Optional[ForwardFilter] = None
@@ -149,8 +149,12 @@ class IPStack:
         Returns False when the packet could not be sent (no route).
         """
         self.sent += 1
-        self.sim.trace.emit("ip", "send", host=self.host.name,
-                            packet=packet.describe())
+        trace = self.sim.trace
+        if trace.wants("ip"):
+            # Guarded: packet.describe() formats the whole header chain,
+            # which dominates the send path when tracing is off.
+            trace.emit("ip", "send", host=self.host.name,
+                       packet=packet.describe())
         if via is not None:
             hop = next_hop if next_hop is not None else self._next_hop_via(packet.dst, via)
             via.send_ip(packet, hop)
@@ -164,8 +168,9 @@ class IPStack:
         if route is None:
             self.dropped_no_route += 1
             self._no_route_counter.value += 1
-            self.sim.trace.emit("ip", "no_route", host=self.host.name,
-                                packet=packet.describe())
+            if trace.wants("ip"):
+                trace.emit("ip", "no_route", host=self.host.name,
+                           packet=packet.describe())
             return False
         route.interface.send_ip(packet, route.next_hop(packet.dst))
         return True
@@ -200,8 +205,10 @@ class IPStack:
 
     def receive_packet(self, packet: IPPacket, iface: "NetworkInterface") -> None:
         """Entry point for packets arriving from an interface."""
-        self.sim.trace.emit("ip", "receive", host=self.host.name,
-                            interface=iface.name, packet=packet.describe())
+        trace = self.sim.trace
+        if trace.wants("ip"):
+            trace.emit("ip", "receive", host=self.host.name,
+                       interface=iface.name, packet=packet.describe())
         if self._destined_here(packet, iface):
             self.deliver(packet, iface)
             return
@@ -209,8 +216,9 @@ class IPStack:
             self._forward(packet, iface)
             return
         self.dropped_not_local += 1
-        self.sim.trace.emit("ip", "drop_not_local", host=self.host.name,
-                            packet=packet.describe())
+        if trace.wants("ip"):
+            trace.emit("ip", "drop_not_local", host=self.host.name,
+                       packet=packet.describe())
 
     def _destined_here(self, packet: IPPacket, iface: "NetworkInterface") -> bool:
         if self.is_local(packet.dst):
@@ -234,25 +242,29 @@ class IPStack:
     # -------------------------------------------------------------- forwarding
 
     def _forward(self, packet: IPPacket, in_iface: "NetworkInterface") -> None:
+        trace = self.sim.trace
         if packet.ttl <= 1:
             self.dropped_ttl += 1
             self._ttl_drop_counter.value += 1
-            self.sim.trace.emit("ip", "ttl_exceeded", host=self.host.name,
-                                packet=packet.describe())
+            if trace.wants("ip"):
+                trace.emit("ip", "ttl_exceeded", host=self.host.name,
+                           packet=packet.describe())
             self.host.icmp.send_time_exceeded(packet)
             return
         if self.forward_filter is not None and not self.forward_filter(packet, in_iface):
             self.dropped_filtered += 1
             self._filtered_counter.value += 1
-            self.sim.trace.emit("ip", "filtered", host=self.host.name,
-                                packet=packet.describe())
+            if trace.wants("ip"):
+                trace.emit("ip", "filtered", host=self.host.name,
+                           packet=packet.describe())
             return
         route = self.ip_rt_route(packet.dst, packet.src)
         if route is None:
             self.dropped_no_route += 1
             self._no_route_counter.value += 1
-            self.sim.trace.emit("ip", "no_route", host=self.host.name,
-                                packet=packet.describe())
+            if trace.wants("ip"):
+                trace.emit("ip", "no_route", host=self.host.name,
+                           packet=packet.describe())
             self.host.icmp.send_dest_unreachable(packet)
             return
         forwarded = packet.decremented()

@@ -11,8 +11,9 @@ policy in a separate table instead.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.net.addressing import IPAddress, Subnet
 
@@ -60,11 +61,30 @@ class RouteResult:
         return self.gateway if self.gateway is not None else dst
 
 
-class RoutingTable:
-    """Longest-prefix-match IPv4 routing table with metrics."""
+#: Cache slot marker distinguishing "no cached result" from a cached miss.
+_UNCACHED = object()
 
-    def __init__(self) -> None:
+
+class RoutingTable:
+    """Longest-prefix-match IPv4 routing table with metrics.
+
+    Lookups memoize per destination in a small LRU (``cache_size`` entries;
+    0 disables).  The cache is cleared on every table mutation, and every
+    :class:`~repro.net.interface.NetworkInterface` state change clears its
+    host's table via the ``state`` property, so staleness can't outlive the
+    event that caused it; as belt and braces a cached entry whose interface
+    has gone down is re-scanned anyway.  Hit/miss totals are plain ints
+    (:meth:`cache_info`) rather than metrics: they are wall-clock-style
+    diagnostics, and keeping them out of the registry keeps same-seed
+    snapshots byte-identical whether or not the cache is enabled.
+    """
+
+    def __init__(self, cache_size: int = 256) -> None:
         self._entries: List[RouteEntry] = []
+        self._cache_size = cache_size
+        self._cache: "OrderedDict[IPAddress, Optional[RouteEntry]]" = OrderedDict()
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -72,13 +92,29 @@ class RoutingTable:
     def __iter__(self):
         return iter(self._entries)
 
+    def invalidate_cache(self) -> None:
+        """Drop every memoized lookup result."""
+        self._cache.clear()
+
+    def cache_info(self) -> Dict[str, int]:
+        """Lookup-cache diagnostics (perf observability, not simulation
+        state)."""
+        return {
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "size": len(self._cache),
+            "max_size": self._cache_size,
+        }
+
     def add(self, entry: RouteEntry) -> None:
         """Append an entry (order does not affect lookup)."""
         self._entries.append(entry)
+        self._cache.clear()
 
     def remove(self, entry: RouteEntry) -> None:
         """Remove exactly this entry object."""
         self._entries.remove(entry)
+        self._cache.clear()
 
     def remove_matching(self, destination: Optional[Subnet] = None,
                         interface: Optional["NetworkInterface"] = None) -> int:
@@ -94,6 +130,7 @@ class RoutingTable:
                 continue
             removed += 1
         self._entries = keep
+        self._cache.clear()
         return removed
 
     def add_host_route(self, host_addr: IPAddress, interface: "NetworkInterface",
@@ -118,7 +155,30 @@ class RoutingTable:
         return self.remove_matching(destination=DEFAULT_DESTINATION)
 
     def lookup(self, dst: IPAddress, require_up: bool = True) -> Optional[RouteEntry]:
-        """Best (longest-prefix, then lowest-metric, then first) match."""
+        """Best (longest-prefix, then lowest-metric, then first) match.
+
+        Only the common ``require_up=True`` form is cached; the raw form
+        bypasses the cache entirely.
+        """
+        if not require_up:
+            return self._scan(dst, False)
+        cache = self._cache
+        cached = cache.get(dst, _UNCACHED)
+        if cached is not _UNCACHED:
+            if cached is None or cached.interface.is_up:
+                self._cache_hits += 1
+                cache.move_to_end(dst)
+                return cached
+            del cache[dst]  # interface went down under the cached route
+        self._cache_misses += 1
+        best = self._scan(dst, True)
+        if self._cache_size > 0:
+            cache[dst] = best
+            if len(cache) > self._cache_size:
+                cache.popitem(last=False)
+        return best
+
+    def _scan(self, dst: IPAddress, require_up: bool) -> Optional[RouteEntry]:
         best: Optional[RouteEntry] = None
         for entry in self._entries:
             if not entry.matches(dst):

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.config import Config, HostTimings
@@ -50,16 +50,43 @@ FLAG_FIN = "FIN"
 FLAG_RST = "RST"
 
 
-@dataclass(frozen=True)
 class TCPSegment:
-    """One TCP segment; ``seq`` counts bytes, SYN/FIN occupy one each."""
+    """One TCP segment; ``seq`` counts bytes, SYN/FIN occupy one each.
 
-    src_port: int
-    dst_port: int
-    seq: int
-    ack: int
-    flags: frozenset
-    payload: AppData = field(default_factory=AppData)
+    A hand-rolled ``__slots__`` value class (previously a frozen
+    dataclass): one is allocated per transmission including every
+    retransmission, so construction cost is part of the datapath.
+    Treat instances as immutable.
+    """
+
+    __slots__ = ("src_port", "dst_port", "seq", "ack", "flags", "payload")
+
+    def __init__(self, src_port: int, dst_port: int, seq: int, ack: int,
+                 flags: frozenset, payload: Optional[AppData] = None) -> None:
+        self.src_port = src_port
+        self.dst_port = dst_port
+        self.seq = seq
+        self.ack = ack
+        self.flags = flags
+        self.payload = payload if payload is not None else AppData()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TCPSegment):
+            return NotImplemented
+        return (self.src_port == other.src_port
+                and self.dst_port == other.dst_port
+                and self.seq == other.seq and self.ack == other.ack
+                and self.flags == other.flags
+                and self.payload == other.payload)
+
+    def __hash__(self) -> int:
+        return hash((TCPSegment, self.src_port, self.dst_port, self.seq,
+                     self.ack, self.flags, self.payload))
+
+    def __repr__(self) -> str:
+        return (f"TCPSegment(src_port={self.src_port}, "
+                f"dst_port={self.dst_port}, seq={self.seq}, ack={self.ack}, "
+                f"flags={self.flags!r}, payload={self.payload!r})")
 
     @property
     def size_bytes(self) -> int:

@@ -7,8 +7,15 @@ exporters for machines (JSONL, flat snapshot) and humans
 (``format_report``, surfaced by ``python -m repro.experiments --metrics``).
 """
 
-from repro.obs.capture import capture_simulators, note_simulator
+from repro.obs.capture import (
+    capture_policy_tables,
+    capture_simulators,
+    note_policy_table,
+    note_simulator,
+)
 from repro.obs.export import (
+    format_policy_table,
+    format_policy_tables,
     format_report,
     format_reports,
     snapshot_to_json,
@@ -30,9 +37,13 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS_MS",
     "capture_simulators",
+    "capture_policy_tables",
     "note_simulator",
+    "note_policy_table",
     "format_report",
     "format_reports",
+    "format_policy_table",
+    "format_policy_tables",
     "snapshot_to_json",
     "trace_to_jsonl",
     "write_trace_jsonl",

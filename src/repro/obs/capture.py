@@ -26,12 +26,23 @@ from typing import Iterator, List
 # created inside them (inner captures also feed outer ones).
 _active: List[List] = []
 
+# Same mechanism for Mobile Policy Tables, so ``--metrics`` can append each
+# mobile host's policy entries to the human-readable report.
+_active_policy: List[List] = []
+
 
 def note_simulator(sim) -> None:
     """Called by ``Simulator.__init__``; records *sim* in active captures."""
     if _active:
         for bucket in _active:
             bucket.append(sim)
+
+
+def note_policy_table(table) -> None:
+    """Called by ``MobilePolicyTable.__init__``; records active tables."""
+    if _active_policy:
+        for bucket in _active_policy:
+            bucket.append(table)
 
 
 @contextlib.contextmanager
@@ -43,3 +54,14 @@ def capture_simulators() -> Iterator[List]:
         yield bucket
     finally:
         _active.remove(bucket)
+
+
+@contextlib.contextmanager
+def capture_policy_tables() -> Iterator[List]:
+    """Collect every MobilePolicyTable built while the ``with`` body runs."""
+    bucket: List = []
+    _active_policy.append(bucket)
+    try:
+        yield bucket
+    finally:
+        _active_policy.remove(bucket)

@@ -126,3 +126,29 @@ def format_reports(registries: Iterable[MetricsRegistry],
                    title: str = "metrics") -> str:
     """Merge several registries and report the combination."""
     return format_report(MetricsRegistry.merged(registries), title=title)
+
+
+def format_policy_table(table) -> str:
+    """One Mobile Policy Table as a human-readable block.
+
+    Renders the table's :meth:`~repro.core.policy.MobilePolicyTable.snapshot`
+    — owner, default mode, and every entry with its origin — in the style
+    of :func:`format_report`, for the ``--metrics`` report.
+    """
+    snap = table.snapshot()
+    owner = snap["owner"] or "(unowned)"
+    lines: List[str] = [f"[policy table: {owner}]",
+                        f"  {'default':<44} {snap['default_mode']}"]
+    if not snap["entries"]:
+        lines.append("  (no entries)")
+        return "\n".join(lines)
+    for entry in snap["entries"]:
+        label = f"{entry['destination']} -> {entry['mode']}"
+        lines.append(f"  {label:<44} origin={entry['origin']}")
+    return "\n".join(lines)
+
+
+def format_policy_tables(tables: Iterable) -> str:
+    """Every captured policy table, one block each."""
+    blocks = [format_policy_table(table) for table in tables]
+    return "\n".join(blocks)

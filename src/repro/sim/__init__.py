@@ -9,7 +9,14 @@ reconstruct per-stage timings such as Figure 7's registration time-line.
 """
 
 from repro.sim.engine import Event, Simulator, Time
-from repro.sim.trace import Trace, TraceRecord
+from repro.sim.scheduler import (
+    SCHEDULERS,
+    HeapScheduler,
+    Scheduler,
+    TimerWheelScheduler,
+    create_scheduler,
+)
+from repro.sim.trace import VERBOSE_CATEGORIES, Trace, TraceRecord
 from repro.sim.units import (
     KBPS,
     MBPS,
@@ -31,6 +38,12 @@ __all__ = [
     "Time",
     "Trace",
     "TraceRecord",
+    "VERBOSE_CATEGORIES",
+    "Scheduler",
+    "HeapScheduler",
+    "TimerWheelScheduler",
+    "SCHEDULERS",
+    "create_scheduler",
     "NANOSECOND",
     "MICROSECOND",
     "MILLISECOND",

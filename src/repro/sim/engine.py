@@ -19,30 +19,43 @@ events are excluded), and wall-clock accounting surfaced via
 :meth:`Simulator.profile`.  Wall time is deliberately *not* in the
 registry: the metrics snapshot must be byte-identical across same-seed
 runs, and wall clocks are not.
+
+Performance notes (the engine is the hottest loop in the repository):
+
+* :class:`Event` is a hand-rolled ``__slots__`` class, not a dataclass —
+  event construction happens once per scheduled callback and the slotted
+  layout roughly halves its cost (``python -m repro.bench`` tracks it).
+* The event queue is a pluggable :class:`~repro.sim.scheduler.Scheduler`
+  (binary heap by default, hierarchical timer wheel as an alternative)
+  that hands back *batches* of same-timestamp events, so a burst of
+  simultaneous timers pays one queue operation, not one per event.
+* Dispatch labels are interned at scheduling time, making the per-event
+  counter lookup a pointer-keyed dict hit.
 """
 
 from __future__ import annotations
 
-import heapq
 import random
+import sys
 import time as _wallclock
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional, Union
 
 from repro.obs.capture import note_simulator
 from repro.obs.metrics import Counter, MetricsRegistry
+from repro.sim.scheduler import Scheduler, create_scheduler
 from repro.sim.trace import Trace
 from repro.sim.units import SECOND
 
 #: Simulated time: an integer count of nanoseconds since simulation start.
 Time = int
 
+_intern = sys.intern
+
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the engine (e.g. scheduling in the past)."""
 
 
-@dataclass(order=True)
 class Event:
     """A scheduled callback.
 
@@ -50,15 +63,35 @@ class Event:
     equal deadlines the event scheduled first runs first.
     """
 
-    time: Time
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    label: str = field(compare=False, default="")
-    cancelled: bool = field(compare=False, default=False)
-    # The owning Simulator while the event sits in its queue; cleared on
-    # pop so a late cancel() cannot corrupt the queue accounting.
-    _owner: Optional["Simulator"] = field(compare=False, default=None,
-                                          repr=False)
+    __slots__ = ("time", "seq", "callback", "label", "cancelled", "_owner")
+
+    def __init__(self, time: Time, seq: int, callback: Callable[[], None],
+                 label: str = "", cancelled: bool = False) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.label = label
+        self.cancelled = cancelled
+        # The owning Simulator while the event sits in its queue; cleared on
+        # pop so a late cancel() cannot corrupt the queue accounting.
+        self._owner: Optional["Simulator"] = None
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.time == other.time and self.seq == other.seq
+
+    def __hash__(self) -> int:
+        return hash((self.time, self.seq))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time} seq={self.seq} {self.label!r}{state}>"
 
     def cancel(self) -> None:
         """Prevent the callback from running when its deadline arrives."""
@@ -83,13 +116,19 @@ class Simulator:
         Optional pre-built :class:`MetricsRegistry`; a fresh one is created
         otherwise.  Passing a shared registry lets cooperating simulations
         aggregate, at the cost of label discipline being on the caller.
+    scheduler:
+        Event queue implementation: a :class:`~repro.sim.scheduler.Scheduler`
+        instance, a registered name (``"heap"``, ``"wheel"``), or ``None``
+        for the default heap.  Both built-ins order events identically, so
+        the choice affects wall time only, never results.
     """
 
     def __init__(self, seed: int = 0, trace: Optional[Trace] = None,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+                 metrics: Optional[MetricsRegistry] = None,
+                 scheduler: Union[str, Scheduler, None] = None) -> None:
         self._now: Time = 0
         self._seq: int = 0
-        self._queue: List[Event] = []
+        self._scheduler: Scheduler = create_scheduler(scheduler)
         self._seed = seed
         self._rngs: Dict[str, random.Random] = {}
         self.trace: Trace = trace if trace is not None else Trace(self)
@@ -98,7 +137,7 @@ class Simulator:
         self._running = False
         self._events_run = 0
         # O(1) accounting of cancelled-but-still-queued events, so that
-        # pending() and the depth gauge never scan the heap.
+        # pending() and the depth gauge never scan the queue.
         self._cancelled_in_queue = 0
         self._queue_depth_gauge = self.metrics.gauge("engine",
                                                      "queue_depth_max")
@@ -119,6 +158,11 @@ class Simulator:
     def events_run(self) -> int:
         """Number of callbacks executed so far (for harness statistics)."""
         return self._events_run
+
+    @property
+    def scheduler(self) -> Scheduler:
+        """The event queue implementation in use."""
+        return self._scheduler
 
     # ------------------------------------------------------------ randomness
 
@@ -145,12 +189,14 @@ class Simulator:
                 f"cannot schedule event {label!r} at {when} ns; "
                 f"it is already {self._now} ns"
             )
-        event = Event(time=when, seq=self._seq, callback=callback, label=label)
+        event = Event(when, self._seq, callback, _intern(label))
         event._owner = self
         self._seq += 1
-        heapq.heappush(self._queue, event)
-        self._queue_depth_gauge.set_max(
-            len(self._queue) - self._cancelled_in_queue)
+        self._scheduler.push(event)
+        depth = len(self._scheduler) - self._cancelled_in_queue
+        gauge = self._queue_depth_gauge
+        if depth > gauge.value:
+            gauge.value = depth
         return event
 
     def call_later(self, delay: Time, callback: Callable[[], None], label: str = "") -> Event:
@@ -162,14 +208,6 @@ class Simulator:
     def _note_cancelled(self) -> None:
         """A queued event was cancelled; it no longer counts as live."""
         self._cancelled_in_queue += 1
-
-    def _count_dispatch(self, label: str) -> None:
-        counter = self._dispatch_counters.get(label)
-        if counter is None:
-            counter = self.metrics.counter("engine", "dispatched",
-                                           label=label or "unlabeled")
-            self._dispatch_counters[label] = counter
-        counter.value += 1
 
     # --------------------------------------------------------------- running
 
@@ -183,34 +221,46 @@ class Simulator:
             exactly at ``until`` still run; the clock is then advanced to
             ``until`` so back-to-back ``run(until=...)`` calls tile time.
         max_events:
-            Safety valve against runaway loops; raises if exceeded.
+            Safety valve against runaway loops; raises if this *call*
+            executes more than ``max_events`` callbacks.  The budget is
+            per-call: a fresh ``run()`` starts from zero, regardless of
+            how many events earlier calls dispatched.
         """
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
         wall_start = _wallclock.perf_counter_ns()
+        scheduler = self._scheduler
+        counters = self._dispatch_counters
+        ran_this_call = 0
         try:
-            while self._queue:
-                event = self._queue[0]
-                if event.cancelled:
-                    # Lazy purge: cancelled events are popped without
-                    # running their callbacks, regardless of `until`.
-                    heapq.heappop(self._queue)
-                    self._cancelled_in_queue -= 1
-                    event._owner = None
-                    continue
-                if until is not None and event.time > until:
+            while True:
+                batch = scheduler.pop_batch(until)
+                if batch is None:
                     break
-                heapq.heappop(self._queue)
-                event._owner = None
-                self._now = event.time
-                self._events_run += 1
-                if max_events is not None and self._events_run > max_events:
-                    raise SimulationError(
-                        f"exceeded max_events={max_events} (runaway simulation?)"
-                    )
-                self._count_dispatch(event.label)
-                event.callback()
+                for event in batch:
+                    if event.cancelled:
+                        # Lazy purge: cancelled events are dropped without
+                        # running their callbacks.
+                        self._cancelled_in_queue -= 1
+                        event._owner = None
+                        continue
+                    event._owner = None
+                    self._now = event.time
+                    self._events_run += 1
+                    ran_this_call += 1
+                    if max_events is not None and ran_this_call > max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events} (runaway simulation?)"
+                        )
+                    label = event.label
+                    counter = counters.get(label)
+                    if counter is None:
+                        counter = self.metrics.counter("engine", "dispatched",
+                                                       label=label or "unlabeled")
+                        counters[label] = counter
+                    counter.value += 1
+                    event.callback()
             if until is not None and self._now < until:
                 self._now = until
         finally:
@@ -223,7 +273,7 @@ class Simulator:
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return len(self._queue) - self._cancelled_in_queue
+        return len(self._scheduler) - self._cancelled_in_queue
 
     # ------------------------------------------------------------- profiling
 
@@ -246,6 +296,7 @@ class Simulator:
             "sim_to_wall_ratio": (self._now / wall) if wall else None,
             "queue_depth_max": self._queue_depth_gauge.value,
             "pending": self.pending(),
+            "scheduler": self._scheduler.name,
             "dispatched_by_label": dispatched,
         }
 

@@ -9,30 +9,43 @@ with :meth:`Trace.select`.
 The trace is append-only and deliberately dumb: no aggregation, no I/O.
 Keeping measurement outside the protocol code mirrors the paper's method of
 instrumenting the kernel with timestamps and post-processing off-line.
+
+Recording is gated per category so the hot path can stay lazy: call sites
+that would pay string formatting just to build a record first ask
+:meth:`Trace.wants`, and categories in :data:`VERBOSE_CATEGORIES` are off
+by default (debug firehoses nobody post-processes).  All pre-existing
+categories default to on, so harnesses see exactly the records they always
+did; benchmarks and soak runs disable categories wholesale with
+:meth:`Trace.disable` to measure (and avoid) the recording overhead.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Simulator
 
 
-@dataclass(frozen=True)
 class TraceRecord:
     """One traced occurrence.
 
     ``category`` is a coarse stream name (``"ip"``, ``"registration"``,
     ``"handoff"`` ...), ``event`` the specific occurrence within it, and
     ``fields`` free-form structured data.
+
+    A ``__slots__`` value class rather than a dataclass: one is allocated
+    per emitted record, which makes construction part of the datapath.
     """
 
-    time: int
-    category: str
-    event: str
-    fields: Dict[str, Any] = field(default_factory=dict)
+    __slots__ = ("time", "category", "event", "fields")
+
+    def __init__(self, time: int, category: str, event: str,
+                 fields: Optional[Dict[str, Any]] = None) -> None:
+        self.time = time
+        self.category = category
+        self.event = event
+        self.fields = fields if fields is not None else {}
 
     def __getitem__(self, key: str) -> Any:
         return self.fields[key]
@@ -40,6 +53,22 @@ class TraceRecord:
     def get(self, key: str, default: Any = None) -> Any:
         """Field lookup with a default (dict.get semantics)."""
         return self.fields.get(key, default)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceRecord):
+            return NotImplemented
+        return (self.time == other.time and self.category == other.category
+                and self.event == other.event and self.fields == other.fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TraceRecord(time={self.time}, category={self.category!r}, "
+                f"event={self.event!r}, fields={self.fields!r})")
+
+
+#: Categories that are *off* unless a consumer opts in: per-event debug
+#: firehoses whose records no experiment harness reads.  Everything else
+#: records by default, exactly as before the fast path existed.
+VERBOSE_CATEGORIES = frozenset({"engine.debug", "policy.cache", "route.cache"})
 
 
 class Trace:
@@ -49,10 +78,28 @@ class Trace:
         self._sim = sim
         self._records: List[TraceRecord] = []
         self.enabled = True
+        self._disabled_categories = set(VERBOSE_CATEGORIES)
+
+    def wants(self, category: str) -> bool:
+        """True if a record in *category* would actually be kept.
+
+        Hot call sites check this *before* formatting record fields
+        (``packet.describe()``, ``str(addr)``), so a disabled category
+        costs one set lookup instead of string building.
+        """
+        return self.enabled and category not in self._disabled_categories
+
+    def enable(self, *categories: str) -> None:
+        """Opt categories (back) in — including the verbose ones."""
+        self._disabled_categories.difference_update(categories)
+
+    def disable(self, *categories: str) -> None:
+        """Stop recording the given categories (benchmarks, soak runs)."""
+        self._disabled_categories.update(categories)
 
     def emit(self, category: str, event: str, **fields: Any) -> None:
         """Record *event* in *category* at the current virtual time."""
-        if not self.enabled:
+        if not self.enabled or category in self._disabled_categories:
             return
         self._records.append(
             TraceRecord(time=self._sim.now, category=category, event=event, fields=fields)

@@ -1,0 +1,58 @@
+"""Unit/smoke tests for the repro.bench package."""
+
+import json
+
+from repro.bench.baseline import BaselineSimulator
+from repro.bench.engine_bench import _run_workload
+from repro.bench.guard import (
+    CACHE_METRIC_PREFIX,
+    canonical_json,
+    strip_cache_metrics,
+)
+from repro.sim import Simulator
+
+
+class TestEngineWorkload:
+    def test_all_engines_dispatch_identical_event_counts(self):
+        results = [
+            _run_workload(BaselineSimulator(), 3_000),
+            _run_workload(Simulator(scheduler="heap"), 3_000),
+            _run_workload(Simulator(scheduler="wheel"), 3_000),
+        ]
+        counts = {r["events_run"] for r in results}
+        assert len(counts) == 1
+        assert counts.pop() >= 3_000
+
+    def test_workload_reports_sane_figures(self):
+        result = _run_workload(Simulator(), 2_000)
+        assert result["wall_ns"] > 0
+        assert result["ns_per_event"] > 0
+        assert result["events_per_sec"] > 0
+
+    def test_baseline_replica_dispatch_counters_match_current(self):
+        baseline = BaselineSimulator()
+        current = Simulator()
+        _run_workload(baseline, 2_000)
+        _run_workload(current, 2_000)
+        assert baseline.metrics.snapshot() == current.metrics.snapshot()
+
+
+class TestGuardHelpers:
+    def test_strip_cache_metrics_drops_only_diagnostics(self):
+        snapshot = {
+            f"{CACHE_METRIC_PREFIX}{{host=mh,result=hit}}": 9,
+            f"{CACHE_METRIC_PREFIX}{{host=mh,result=miss}}": 2,
+            "policy/lookups{host=mh,mode=tunnel,result=hit}": 11,
+            "ip/packets_sent{host=mh}": 40,
+        }
+        stripped = strip_cache_metrics(snapshot)
+        assert stripped == {
+            "policy/lookups{host=mh,mode=tunnel,result=hit}": 11,
+            "ip/packets_sent{host=mh}": 40,
+        }
+
+    def test_canonical_json_is_order_insensitive_and_compact(self):
+        a = canonical_json({"b": 1, "a": 2})
+        b = canonical_json({"a": 2, "b": 1})
+        assert a == b == '{"a":2,"b":1}'
+        assert json.loads(a) == {"a": 2, "b": 1}

@@ -1,0 +1,119 @@
+"""Unit tests for the positional-argument deprecation shims.
+
+Each shimmed constructor must (a) warn with ``DeprecationWarning`` exactly
+once per call, (b) honour the positionally-passed values, and (c) let
+explicit keyword arguments win over the shim.
+"""
+
+import warnings
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG
+from repro.core.autoswitch import ConnectivityManager
+from repro.core.mobile_host import MobileHost
+from repro.core.policy import MobilePolicyTable, RoutingMode
+from repro.core.tunnel import VirtualInterface
+from repro.net.addressing import ip, subnet
+from repro.sim import ms
+
+
+def assert_single_deprecation(caught, needle):
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1
+    assert needle in str(deprecations[0].message)
+
+
+class TestMobilePolicyTableShim:
+    def test_positional_default_mode_warns_once_and_lands(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            table = MobilePolicyTable(RoutingMode.LOCAL)
+        assert_single_deprecation(caught, "MobilePolicyTable")
+        assert table.default_mode is RoutingMode.LOCAL
+
+    def test_keyword_wins_over_shim(self):
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            table = MobilePolicyTable(RoutingMode.LOCAL,
+                                      default_mode=RoutingMode.TRIANGLE)
+        assert table.default_mode is RoutingMode.TRIANGLE
+
+    def test_keyword_form_does_not_warn(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            MobilePolicyTable(default_mode=RoutingMode.LOCAL)
+        assert [w for w in caught
+                if issubclass(w.category, DeprecationWarning)] == []
+
+
+class TestVirtualInterfaceShim:
+    def test_positional_config_warns_once_and_lands(self, sim):
+        config = DEFAULT_CONFIG.with_overrides(route_cache_size=7)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            vif = VirtualInterface(sim, "vif0", config)
+        assert_single_deprecation(caught, "VirtualInterface")
+        assert vif.config is config
+
+    def test_keyword_form_does_not_warn(self, sim):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            vif = VirtualInterface(sim, "vif0", config=DEFAULT_CONFIG)
+        assert [w for w in caught
+                if issubclass(w.category, DeprecationWarning)] == []
+        assert vif.config is DEFAULT_CONFIG
+
+
+class TestMobileHostShim:
+    ARGS = (ip("36.135.0.10"), subnet("36.135.0.0/24"), ip("36.135.0.1"))
+
+    def test_positional_config_and_mode_warn_once_and_land(self, sim):
+        config = DEFAULT_CONFIG.with_overrides(policy_cache_size=5)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            mobile = MobileHost(sim, "mh", *self.ARGS,
+                                config, RoutingMode.LOCAL)
+        assert_single_deprecation(caught, "MobileHost")
+        assert mobile.config is config
+        assert mobile.policy.default_mode is RoutingMode.LOCAL
+
+    def test_keyword_form_does_not_warn(self, sim):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            mobile = MobileHost(sim, "mh", *self.ARGS,
+                                default_mode=RoutingMode.TRIANGLE)
+        assert [w for w in caught
+                if issubclass(w.category, DeprecationWarning)] == []
+        assert mobile.policy.default_mode is RoutingMode.TRIANGLE
+
+
+class TestConnectivityManagerShim:
+    @pytest.fixture
+    def mobile(self, testbed):
+        return testbed.mobile
+
+    def test_positional_probe_knobs_warn_once_and_land(self, mobile):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            manager = ConnectivityManager(mobile, ms(250), ms(100), 3, 4)
+        assert_single_deprecation(caught, "ConnectivityManager")
+        assert manager.probe_interval == ms(250)
+        assert manager.probe_timeout == ms(100)
+        assert manager.up_threshold == 3
+        assert manager.down_threshold == 4
+
+    def test_keyword_wins_over_shim(self, mobile):
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            manager = ConnectivityManager(mobile, ms(250),
+                                          probe_interval=ms(500))
+        assert manager.probe_interval == ms(500)
+
+    def test_keyword_form_does_not_warn(self, mobile):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            ConnectivityManager(mobile, probe_interval=ms(500))
+        assert [w for w in caught
+                if issubclass(w.category, DeprecationWarning)] == []

@@ -157,3 +157,31 @@ def test_events_run_counter():
         sim.call_at(ms(index), lambda: None)
     sim.run()
     assert sim.events_run == 7
+
+
+def test_max_events_budget_is_per_call():
+    """Regression: the budget used to compare against the lifetime total,
+
+    so a simulation that had already run N events would trip
+    ``run(max_events=N)`` immediately even if the new call only had a
+    handful of events to dispatch.
+    """
+    sim = Simulator()
+    for index in range(50):
+        sim.call_at(ms(index), lambda: None)
+    sim.run()
+    assert sim.events_run == 50
+    # A fresh run() gets a fresh budget: 10 events under a 20-event cap
+    # must succeed despite the 50 already on the lifetime counter.
+    for index in range(10):
+        sim.call_at(ms(100 + index), lambda: None)
+    sim.run(max_events=20)
+    assert sim.events_run == 60
+
+
+def test_max_events_exact_budget_is_allowed():
+    sim = Simulator()
+    for index in range(5):
+        sim.call_at(ms(index), lambda: None)
+    sim.run(max_events=5)  # exactly at the cap: fine
+    assert sim.events_run == 5

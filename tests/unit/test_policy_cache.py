@@ -1,0 +1,126 @@
+"""Unit tests for the Mobile Policy Table's lookup cache and inspection."""
+
+from repro.core.policy import MobilePolicyTable, RoutingMode
+from repro.net.addressing import ip, subnet
+from repro.obs import capture_policy_tables, format_policy_table
+from repro.obs.metrics import MetricsRegistry
+
+
+def make_table(cache_size=128, metrics=None, owner="mh"):
+    table = MobilePolicyTable(default_mode=RoutingMode.TUNNEL,
+                              metrics=metrics, owner=owner,
+                              cache_size=cache_size)
+    table.set_policy(subnet("36.8.0.0/24"), RoutingMode.LOCAL)
+    table.set_policy(ip("36.8.0.99"), RoutingMode.TRIANGLE)
+    return table
+
+
+class TestLookupCache:
+    def test_hit_and_miss_diagnostics(self):
+        table = make_table()
+        assert table.lookup(ip("36.8.0.20")) is RoutingMode.LOCAL
+        assert table.lookup(ip("36.8.0.20")) is RoutingMode.LOCAL
+        assert table._cache_miss_counter.value == 1
+        assert table._cache_hit_counter.value == 1
+
+    def test_cached_default_mode_counts_as_policy_miss(self):
+        """A cached no-entry result must replay the lookups{miss} count."""
+        metrics = MetricsRegistry()
+        table = make_table(metrics=metrics)
+        for _ in range(3):
+            assert table.lookup(ip("99.9.9.9")) is RoutingMode.TUNNEL
+        snap = metrics.snapshot()
+        assert snap[
+            "policy/lookups{host=mh,mode=tunnel,result=miss}"] == 3
+
+    def test_snapshot_identical_with_cache_on_and_off(self):
+        """The cache must not perturb anything but its own diagnostics."""
+        destinations = [ip(f"36.8.0.{n}") for n in (20, 20, 99, 99, 7)] \
+            + [ip("10.0.0.1")] * 4
+        registries = {}
+        for size in (0, 128):
+            metrics = MetricsRegistry()
+            table = make_table(cache_size=size, metrics=metrics)
+            for dst in destinations:
+                table.lookup(dst)
+            registries[size] = {
+                key: value for key, value in metrics.snapshot().items()
+                if not key.startswith("policy/lookup_cache")
+            }
+        assert registries[0] == registries[128]
+
+    def test_cache_size_zero_disables_memoisation(self):
+        table = make_table(cache_size=0)
+        table.lookup(ip("36.8.0.20"))
+        table.lookup(ip("36.8.0.20"))
+        assert table._cache_hit_counter.value == 0
+        assert table._cache_miss_counter.value == 2
+
+    def test_lru_eviction_is_bounded(self):
+        table = make_table(cache_size=4)
+        for n in range(10):
+            table.lookup(ip(f"36.8.0.{n}"))
+        assert len(table._cache) == 4
+
+    def test_set_policy_invalidates(self):
+        table = make_table()
+        assert table.lookup(ip("36.8.0.20")) is RoutingMode.LOCAL
+        table.set_policy(ip("36.8.0.20"), RoutingMode.ENCAP_DIRECT)
+        assert table.lookup(ip("36.8.0.20")) is RoutingMode.ENCAP_DIRECT
+
+    def test_clear_policy_invalidates(self):
+        table = make_table()
+        assert table.lookup(ip("36.8.0.20")) is RoutingMode.LOCAL
+        table.clear_policy(subnet("36.8.0.0/24"))
+        assert table.lookup(ip("36.8.0.20")) is RoutingMode.TUNNEL
+
+    def test_default_mode_setter_invalidates(self):
+        table = make_table()
+        assert table.lookup(ip("1.2.3.4")) is RoutingMode.TUNNEL
+        table.default_mode = RoutingMode.TRIANGLE
+        assert table.lookup(ip("1.2.3.4")) is RoutingMode.TRIANGLE
+
+    def test_probe_fallback_invalidates(self):
+        table = make_table()
+        assert table.lookup(ip("36.8.0.20")) is RoutingMode.LOCAL
+        table.record_probe_result(ip("36.8.0.20"), reachable=False)
+        assert table.lookup(ip("36.8.0.20")) is RoutingMode.TUNNEL
+        table.record_probe_result(ip("36.8.0.20"), reachable=True)
+        assert table.lookup(ip("36.8.0.20")) is RoutingMode.LOCAL
+
+    def test_handoff_invalidates_mobile_hosts_cache(self, testbed):
+        policy = testbed.mobile.policy
+        policy.lookup(ip("36.8.0.20"))
+        assert len(policy._cache) > 0
+        testbed.visit_dept()
+        assert len(policy._cache) == 0
+
+
+class TestInspection:
+    def test_snapshot_sorts_most_specific_first(self):
+        snap = make_table().snapshot()
+        assert snap["owner"] == "mh"
+        assert snap["default_mode"] == "tunnel"
+        assert [e["destination"] for e in snap["entries"]] == [
+            "36.8.0.99/32", "36.8.0.0/24"]
+        assert snap["entries"][0]["mode"] == "triangle"
+        assert snap["entries"][0]["origin"] == "static"
+
+    def test_repr_mentions_owner_default_and_entries(self):
+        text = repr(make_table())
+        assert "owner='mh'" in text
+        assert "default=tunnel" in text
+        assert "36.8.0.0/24->local(static)" in text
+
+    def test_format_policy_table_renders_snapshot(self):
+        report = format_policy_table(make_table())
+        assert "mh" in report
+        assert "default" in report and "tunnel" in report
+        assert "36.8.0.99/32" in report and "triangle" in report
+
+    def test_capture_policy_tables_collects_new_tables(self):
+        with capture_policy_tables() as tables:
+            inside = make_table(owner="captured")
+        outside = make_table(owner="not-captured")
+        assert inside in tables
+        assert outside not in tables

@@ -1,0 +1,101 @@
+"""Unit tests for the routing table's LPM result cache."""
+
+from repro.net.addressing import ip, subnet
+from repro.net.interface import InterfaceState, NetworkInterface
+from repro.net.routing import RouteEntry, RoutingTable
+
+
+class FakeInterface:
+    """Just enough interface for RoutingTable: a name and an up/down bit."""
+
+    def __init__(self, name, up=True):
+        self.name = name
+        self.is_up = up
+
+
+def make_table(cache_size=256):
+    table = RoutingTable(cache_size=cache_size)
+    eth = FakeInterface("eth0")
+    table.add(RouteEntry(destination=subnet("10.0.0.0/24"), interface=eth))
+    table.add_default(eth, gateway=ip("10.0.0.1"))
+    return table, eth
+
+
+def test_cache_hit_returns_same_entry():
+    table, _ = make_table()
+    first = table.lookup(ip("10.0.0.5"))
+    second = table.lookup(ip("10.0.0.5"))
+    assert first is second
+    info = table.cache_info()
+    assert info["hits"] == 1 and info["misses"] == 1
+
+
+def test_negative_results_are_cached_too():
+    table = RoutingTable()
+    assert table.lookup(ip("1.1.1.1")) is None
+    assert table.lookup(ip("1.1.1.1")) is None
+    assert table.cache_info()["hits"] == 1
+
+
+def test_cache_size_zero_disables_caching():
+    table, _ = make_table(cache_size=0)
+    table.lookup(ip("10.0.0.5"))
+    table.lookup(ip("10.0.0.5"))
+    info = table.cache_info()
+    assert info["hits"] == 0 and info["misses"] == 2 and info["size"] == 0
+
+
+def test_require_up_false_bypasses_cache():
+    table, eth = make_table()
+    eth.is_up = False
+    assert table.lookup(ip("10.0.0.5"), require_up=False) is not None
+    assert table.cache_info()["misses"] == 0
+
+
+def test_mutations_invalidate():
+    table, eth = make_table()
+    table.lookup(ip("10.0.0.5"))
+    better = RouteEntry(destination=subnet("10.0.0.5/32"),
+                        interface=FakeInterface("ppp0"))
+    table.add(better)
+    assert table.lookup(ip("10.0.0.5")) is better
+    table.remove(better)
+    assert table.lookup(ip("10.0.0.5")).destination == subnet("10.0.0.0/24")
+    table.remove_matching(interface=eth)
+    assert table.lookup(ip("10.0.0.5")) is None
+
+
+def test_down_interface_under_cached_route_is_rescanned():
+    """Belt and braces: even without invalidation, a cached route whose
+
+    interface dropped is rejected on hit and the table re-scanned."""
+    table, eth = make_table()
+    fallback = RouteEntry(destination=subnet("10.0.0.0/16"),
+                          interface=FakeInterface("backup0"))
+    table.add(fallback)
+    assert table.lookup(ip("10.0.0.5")).interface is eth
+    eth.is_up = False  # FakeInterface: no property hook, cache NOT cleared
+    assert table.lookup(ip("10.0.0.5")) is fallback
+
+
+def test_lru_eviction_is_bounded():
+    table, _ = make_table(cache_size=3)
+    for n in range(8):
+        table.lookup(ip(f"10.0.0.{n}"))
+    info = table.cache_info()
+    assert info["size"] == 3 and info["max_size"] == 3
+
+
+def test_interface_state_property_invalidates_host_table(sim, lan):
+    """Real interfaces clear their host's route cache on any state change."""
+    host = lan.a
+    iface = next(i for i in host.interfaces if i.name.startswith("eth"))
+    assert isinstance(iface, NetworkInterface)
+    dst = ip("10.0.0.2")
+    assert host.ip.routes.lookup(dst) is not None
+    assert host.ip.routes.cache_info()["size"] > 0
+    iface.state = InterfaceState.DOWN
+    assert host.ip.routes.cache_info()["size"] == 0
+    assert host.ip.routes.lookup(dst) is None
+    iface.state = InterfaceState.UP
+    assert host.ip.routes.lookup(dst) is not None

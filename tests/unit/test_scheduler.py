@@ -1,0 +1,190 @@
+"""Unit tests for the pluggable event schedulers (heap and timer wheel)."""
+
+import random
+
+import pytest
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.scheduler import (
+    SCHEDULERS,
+    HeapScheduler,
+    Scheduler,
+    TimerWheelScheduler,
+    create_scheduler,
+)
+
+
+def make_events(times):
+    """Events with seq equal to list position (the engine's FIFO rule)."""
+    return [Event(time, seq, lambda: None) for seq, time in enumerate(times)]
+
+
+def drain(scheduler, until=None):
+    """Pop every batch, flattening to (time, seq) pairs."""
+    out = []
+    while True:
+        batch = scheduler.pop_batch(until)
+        if batch is None:
+            return out
+        out.extend((event.time, event.seq) for event in batch)
+
+
+@pytest.fixture(params=["heap", "wheel"])
+def scheduler(request):
+    return create_scheduler(request.param)
+
+
+class TestSchedulerContract:
+    def test_pops_in_time_then_seq_order(self, scheduler):
+        for event in make_events([500, 100, 300, 100, 200]):
+            scheduler.push(event)
+        assert drain(scheduler) == [(100, 1), (100, 3), (200, 4),
+                                    (300, 2), (500, 0)]
+
+    def test_batches_group_identical_timestamps(self, scheduler):
+        for event in make_events([70, 70, 30, 70, 30]):
+            scheduler.push(event)
+        first = scheduler.pop_batch()
+        second = scheduler.pop_batch()
+        assert [(e.time, e.seq) for e in first] == [(30, 2), (30, 4)]
+        assert [(e.time, e.seq) for e in second] == [(70, 0), (70, 1), (70, 3)]
+
+    def test_until_bound_is_inclusive(self, scheduler):
+        for event in make_events([10, 20]):
+            scheduler.push(event)
+        assert [e.time for e in scheduler.pop_batch(until=10)] == [10]
+        assert scheduler.pop_batch(until=10) is None
+        assert len(scheduler) == 1  # the t=20 event is still queued
+
+    def test_empty_pop_returns_none(self, scheduler):
+        assert scheduler.pop_batch() is None
+        assert len(scheduler) == 0
+
+    def test_cancelled_events_are_returned_not_hidden(self, scheduler):
+        events = make_events([10, 10])
+        events[0].cancelled = True
+        for event in events:
+            scheduler.push(event)
+        batch = scheduler.pop_batch()
+        assert [e.seq for e in batch] == [0, 1]
+
+    def test_interleaved_push_and_pop(self, scheduler):
+        scheduler.push(Event(100, 0, lambda: None))
+        assert [e.time for e in scheduler.pop_batch()] == [100]
+        # Pushing at the popped timestamp after the cursor reached it must
+        # still surface the event (the wheel clamps it to the current slot).
+        scheduler.push(Event(100, 1, lambda: None))
+        scheduler.push(Event(90, 2, lambda: None))
+        assert drain(scheduler) == [(90, 2), (100, 1)]
+
+
+class TestTimerWheel:
+    def test_far_future_goes_to_overflow_and_comes_back(self):
+        wheel = TimerWheelScheduler(tick=16, slots=4)
+        # Horizons: level 0 = 4*16 = 64 ns, level 1 = 4*64 = 256 ns.
+        times = [1_000_000, 5, 200, 70]
+        for event in make_events(times):
+            wheel.push(event)
+        assert len(wheel._overflow) == 1  # only the 1 ms event overflows
+        assert drain(wheel) == [(5, 1), (70, 3), (200, 2), (1_000_000, 0)]
+        assert len(wheel) == 0
+
+    def test_level1_cascade_preserves_order(self):
+        wheel = TimerWheelScheduler(tick=16, slots=4)
+        # All land in level 1 (beyond 64 ns, within 256 ns), same slot.
+        for event in make_events([200, 195, 200]):
+            wheel.push(event)
+        assert drain(wheel) == [(195, 1), (200, 0), (200, 2)]
+
+    def test_empty_revolution_skipping(self):
+        wheel = TimerWheelScheduler(tick=16, slots=4)
+        wheel.push(Event(10_000, 0, lambda: None))
+        assert [e.time for e in wheel.pop_batch()] == [10_000]
+        # Cursors must have advanced past the popped time, not wrapped.
+        assert wheel._cursor0 >= 10_000 // 16
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            TimerWheelScheduler(tick=0)
+        with pytest.raises(ValueError):
+            TimerWheelScheduler(slots=1)
+
+    def test_randomized_equivalence_with_heap(self):
+        rng = random.Random(2026)
+        for trial in range(20):
+            heap, wheel = HeapScheduler(), TimerWheelScheduler()
+            events = []
+            t = 0
+            for seq in range(400):
+                # Mix of short gaps, exact ties, and far-future spikes.
+                roll = rng.random()
+                if roll < 0.2:
+                    pass  # tie with the previous event
+                elif roll < 0.9:
+                    t += rng.randrange(1, 200_000)
+                else:
+                    t += rng.randrange(1, 60) * 100_000_000
+                events.append((t, seq))
+            rng.shuffle(events)
+            for time, seq in events:
+                heap.push(Event(time, seq, lambda: None))
+                wheel.push(Event(time, seq, lambda: None))
+            assert drain(heap) == drain(wheel), f"trial {trial} diverged"
+
+    def test_randomized_equivalence_interleaved(self):
+        """Pops interleaved with pushes relative to the advancing cursor."""
+        rng = random.Random(9)
+        heap, wheel = HeapScheduler(), TimerWheelScheduler(tick=64, slots=8)
+        now, seq = 0, 0
+        popped = []
+        for _ in range(300):
+            for _ in range(rng.randrange(0, 4)):
+                when = now + rng.randrange(0, 5_000_000)
+                heap.push(Event(when, seq, lambda: None))
+                wheel.push(Event(when, seq, lambda: None))
+                seq += 1
+            if rng.random() < 0.6:
+                a, b = heap.pop_batch(), wheel.pop_batch()
+                assert (a is None) == (b is None)
+                if a is not None:
+                    pairs = [(e.time, e.seq) for e in a]
+                    assert pairs == [(e.time, e.seq) for e in b]
+                    popped.extend(pairs)
+                    now = pairs[0][0]
+        remaining_heap, remaining_wheel = drain(heap), drain(wheel)
+        assert remaining_heap == remaining_wheel
+        popped.extend(remaining_heap)
+        assert sorted(popped, key=lambda p: p[0]) == popped
+
+
+class TestCreateScheduler:
+    def test_registry_names(self):
+        assert set(SCHEDULERS) == {"heap", "wheel"}
+        assert isinstance(create_scheduler("heap"), HeapScheduler)
+        assert isinstance(create_scheduler("wheel"), TimerWheelScheduler)
+
+    def test_none_means_default_heap(self):
+        assert isinstance(create_scheduler(None), HeapScheduler)
+
+    def test_instance_passes_through(self):
+        wheel = TimerWheelScheduler()
+        assert create_scheduler(wheel) is wheel
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            create_scheduler("splay-tree")
+
+    def test_simulator_exposes_scheduler(self):
+        sim = Simulator(scheduler="wheel")
+        assert sim.scheduler.name == "wheel"
+        assert sim.profile()["scheduler"] == "wheel"
+        assert Simulator().scheduler.name == "heap"
+
+    def test_base_class_is_abstract(self):
+        base = Scheduler()
+        with pytest.raises(NotImplementedError):
+            base.push(Event(0, 0, lambda: None))
+        with pytest.raises(NotImplementedError):
+            base.pop_batch()
+        with pytest.raises(NotImplementedError):
+            len(base)
