@@ -1,7 +1,8 @@
 """Reproducible benchmark baseline for the engine and datapath fast path.
 
-``python -m repro.bench`` runs two benchmark suites and a determinism
-guard, then writes ``BENCH_engine.json`` and ``BENCH_datapath.json``:
+``python -m repro.bench`` runs three benchmark suites and a determinism
+guard, then writes ``BENCH_engine.json``, ``BENCH_datapath.json`` and
+``BENCH_parallel.json``:
 
 * **Engine** (:mod:`repro.bench.engine_bench`) — a deterministic
   timer-chain workload dispatched through (a) a faithful replica of the
@@ -16,6 +17,12 @@ guard, then writes ``BENCH_engine.json`` and ``BENCH_datapath.json``:
   lookup cost with the result caches on vs off (including hit rates), the
   cost of a disabled trace category, and a whole-testbed scenario
   regeneration timed end to end.
+* **Parallel** (:mod:`repro.bench.parallel_bench`) — the trial-heavy
+  experiments run serially and through the ``repro.parallel`` worker
+  pool (``--jobs N``), writing ``BENCH_parallel.json`` with wall-clock,
+  speedup, ``cpu_count``, and a determinism verdict (plain-data reports
+  must compare equal).  A report mismatch fails the run like a guard
+  failure; speedup never does.
 * **Guard** (:mod:`repro.bench.guard`) — re-runs the same seeded scenario
   with the fast path on and off (caches disabled, verbose tracing forced,
   wheel vs heap scheduler) and asserts the metric snapshots are
@@ -31,10 +38,12 @@ packets built, cache hits) are exactly reproducible.
 from repro.bench.datapath_bench import run_datapath_bench
 from repro.bench.engine_bench import run_engine_bench
 from repro.bench.guard import run_determinism_guard, strip_cache_metrics
+from repro.bench.parallel_bench import run_parallel_bench
 
 __all__ = [
     "run_engine_bench",
     "run_datapath_bench",
     "run_determinism_guard",
+    "run_parallel_bench",
     "strip_cache_metrics",
 ]

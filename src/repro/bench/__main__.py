@@ -5,12 +5,15 @@ Usage::
     python -m repro.bench              # full run, writes BENCH_*.json here
     python -m repro.bench --quick      # smaller workloads (CI-friendly)
     python -m repro.bench --out DIR    # write the JSON files elsewhere
+    python -m repro.bench --jobs 4     # worker count for the parallel bench
 
-Runs the engine benchmark, the datapath benchmarks, and the same-seed
-determinism guard, then writes ``BENCH_engine.json`` and
-``BENCH_datapath.json``.  The exit status reflects *correctness only*:
-0 unless the determinism guard fails.  Speed numbers are reported, never
-gated on — wall time belongs to the machine, identity belongs to us.
+Runs the engine benchmark, the datapath benchmarks, the same-seed
+determinism guard, and the serial-vs-parallel experiment-suite bench,
+then writes ``BENCH_engine.json``, ``BENCH_datapath.json`` and
+``BENCH_parallel.json``.  The exit status reflects *correctness only*:
+0 unless a determinism check fails (the guard, or serial/parallel report
+divergence).  Speed numbers are reported, never gated on — wall time
+belongs to the machine, identity belongs to us.
 """
 
 from __future__ import annotations
@@ -23,6 +26,7 @@ from pathlib import Path
 from repro.bench.datapath_bench import run_datapath_bench
 from repro.bench.engine_bench import run_engine_bench
 from repro.bench.guard import run_determinism_guard
+from repro.bench.parallel_bench import run_parallel_bench
 
 
 def _write(path: Path, doc: dict) -> None:
@@ -37,6 +41,9 @@ def main(argv: list) -> int:
                         help="smaller workloads (for CI smoke runs)")
     parser.add_argument("--out", type=Path, default=Path("."),
                         help="directory for BENCH_*.json (default: cwd)")
+    parser.add_argument("--jobs", type=int, default=4, metavar="N",
+                        help="worker processes for the parallel bench "
+                             "(0 = one per CPU; default 4)")
     args = parser.parse_args(argv)
     args.out.mkdir(parents=True, exist_ok=True)
 
@@ -70,15 +77,38 @@ def main(argv: list) -> int:
         print(f"{run['config']:<20} {run['events_run']:>7} events  {status}")
     datapath["determinism_guard"] = guard
 
+    print("== parallel experiment runner ==")
+    parallel = run_parallel_bench(jobs=args.jobs, quick=args.quick)
+    for name, entry in parallel["experiments"].items():
+        status = "ok" if entry["identical"] else "MISMATCH"
+        print(f"{name:<16} serial {entry['serial_s']:6.2f}s  "
+              f"jobs={parallel['jobs']} {entry['parallel_s']:6.2f}s  "
+              f"({entry['speedup']:.2f}x)  {status}")
+    total = parallel["total"]
+    print(f"{'TOTAL':<16} serial {total['serial_s']:6.2f}s  "
+          f"jobs={parallel['jobs']} {total['parallel_s']:6.2f}s  "
+          f"({total['speedup']:.2f}x on {parallel['cpu_count']} CPUs)")
+
     _write(args.out / "BENCH_engine.json", engine)
     _write(args.out / "BENCH_datapath.json", datapath)
+    _write(args.out / "BENCH_parallel.json", parallel)
 
+    failed = False
     if not guard["passed"]:
         print("determinism guard FAILED: fast path changed simulation results",
               file=sys.stderr)
-        return 1
-    print("determinism guard passed: snapshots byte-identical across configs")
-    return 0
+        failed = True
+    else:
+        print("determinism guard passed: snapshots byte-identical "
+              "across configs")
+    if not parallel["identical"]:
+        print("parallel determinism FAILED: --jobs changed experiment "
+              "reports", file=sys.stderr)
+        failed = True
+    else:
+        print(f"parallel determinism passed: jobs={parallel['jobs']} "
+              f"reports identical to serial")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

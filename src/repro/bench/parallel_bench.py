@@ -1,0 +1,99 @@
+"""Serial-vs-parallel wall-clock for the experiment suite.
+
+``python -m repro.bench --jobs N`` runs the trial-heavy experiments twice
+— once in-process (``jobs=1``) and once through the worker pool — and
+writes ``BENCH_parallel.json`` recording wall-clock, speedup, and a
+determinism verdict: the two runs' reports, reduced to plain data, must
+compare equal.  Like every bench in this package, **only the determinism
+check can fail the run**; speedup is a number for humans, machine- and
+core-count-dependent (``cpu_count`` is recorded next to it so a 1-core
+CI box reporting ~1x reads as what it is).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Dict, List, Tuple
+
+from repro.experiments import (
+    run_device_switch_experiment,
+    run_fa_ablation,
+    run_ha_fleet_sweep,
+    run_same_subnet_experiment,
+)
+from repro.experiments.harness import as_plain_data
+from repro.parallel.runner import effective_jobs
+
+#: The trial-heavy scenarios: (id, trial count note, factory(quick) ->
+#: callable(jobs) -> report).  Trial counts are what makes sharding pay:
+#: each scenario fans out dozens of independent simulations.
+_Scenario = Tuple[str, Callable]
+
+
+def _scenarios(quick: bool) -> List[_Scenario]:
+    if quick:
+        return [
+            ("same_subnet",
+             lambda jobs: run_same_subnet_experiment(iterations=8, seed=11,
+                                                     jobs=jobs)),
+            ("device_switch",
+             lambda jobs: run_device_switch_experiment(iterations=3, seed=23,
+                                                       jobs=jobs)),
+            ("fa_ablation",
+             lambda jobs: run_fa_ablation(iterations=4, seed=47, jobs=jobs)),
+            ("ha_fleet_sweep",
+             lambda jobs: run_ha_fleet_sweep(fleet_sizes=(100, 200), seed=97,
+                                             jobs=jobs)),
+        ]
+    return [
+        ("same_subnet",
+         lambda jobs: run_same_subnet_experiment(jobs=jobs)),
+        ("device_switch",
+         lambda jobs: run_device_switch_experiment(jobs=jobs)),
+        ("fa_ablation",
+         lambda jobs: run_fa_ablation(jobs=jobs)),
+        ("ha_fleet_sweep",
+         lambda jobs: run_ha_fleet_sweep(jobs=jobs)),
+    ]
+
+
+def _timed(factory: Callable, jobs: int):
+    start = time.perf_counter()
+    report = factory(jobs)
+    return time.perf_counter() - start, as_plain_data(report)
+
+
+def run_parallel_bench(jobs: int = 4, quick: bool = False) -> Dict:
+    """Time the suite serial vs *jobs* workers; verify identical reports."""
+    jobs = effective_jobs(jobs)
+    experiments: Dict[str, Dict] = {}
+    serial_total = 0.0
+    parallel_total = 0.0
+    all_identical = True
+    for name, factory in _scenarios(quick):
+        serial_s, serial_report = _timed(factory, 1)
+        parallel_s, parallel_report = _timed(factory, jobs)
+        identical = serial_report == parallel_report
+        all_identical = all_identical and identical
+        serial_total += serial_s
+        parallel_total += parallel_s
+        experiments[name] = {
+            "serial_s": serial_s,
+            "parallel_s": parallel_s,
+            "speedup": serial_s / parallel_s if parallel_s else 0.0,
+            "identical": identical,
+        }
+    return {
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "quick": quick,
+        "experiments": experiments,
+        "total": {
+            "serial_s": serial_total,
+            "parallel_s": parallel_total,
+            "speedup": (serial_total / parallel_total
+                        if parallel_total else 0.0),
+        },
+        "identical": all_identical,
+    }

@@ -47,7 +47,9 @@ from repro.experiments.exp_autoswitch import (
     run_autoswitch_experiment,
 )
 from repro.experiments.exp_ha_scalability import (
+    HAFleetSweepReport,
     HAScalabilityReport,
+    run_ha_fleet_sweep,
     run_ha_scalability_experiment,
 )
 from repro.experiments.exp_smart_correspondent import (
@@ -70,6 +72,8 @@ __all__ = [
     "SmartCorrespondentReport",
     "run_ha_scalability_experiment",
     "HAScalabilityReport",
+    "run_ha_fleet_sweep",
+    "HAFleetSweepReport",
     "run_autoswitch_experiment",
     "AutoswitchReport",
 ]

@@ -4,21 +4,32 @@ Usage::
 
     python -m repro.experiments            # everything
     python -m repro.experiments f6 f7      # just those experiments
+    python -m repro.experiments --jobs 4   # shard trials across 4 workers
     python -m repro.experiments --figures  # ASCII renderings of fig. 6 & 7
     python -m repro.experiments --metrics  # append per-component counters
 
 Experiment ids: ``e1`` (same-subnet switch), ``f6`` (device switching),
 ``f7`` (registration time-line), ``f3`` (routing options), ``a1``
-(foreign-agent ablation), ``x1``-``x3`` (extensions).
+(foreign-agent ablation), ``x1``-``x4`` (extensions; ``x4`` is the
+sharded 100-1000-host home-agent fleet sweep).
 
-``--metrics`` captures every simulator an experiment builds and prints the
-merged :mod:`repro.obs` registry after its report: link/interface traffic,
-tunnel encap/decap, TCP retransmits, registration latency histograms, and
-the engine's dispatch counters.
+``--jobs N`` runs each experiment's independent trials across N worker
+processes; reports are byte-identical to ``--jobs 1`` (seeds are
+addressed by trial, not by worker).  ``--jobs 0`` uses one worker per
+CPU.
+
+``--metrics`` captures every simulator an experiment builds — including
+those built in worker processes, whose registries are merged back — and
+prints the combined :mod:`repro.obs` registry after its report:
+link/interface traffic, tunnel encap/decap, TCP retransmits,
+registration latency histograms, and the engine's dispatch counters.
+(Policy-table snapshots are parent-process only; with ``--jobs > 1``
+they cover only trials that ran in-process.)
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from repro.obs import (
@@ -31,7 +42,10 @@ from repro.obs import (
 from repro.experiments.exp_autoswitch import run_autoswitch_experiment
 from repro.experiments.exp_device_switch import run_device_switch_experiment
 from repro.experiments.exp_fa_ablation import run_fa_ablation
-from repro.experiments.exp_ha_scalability import run_ha_scalability_experiment
+from repro.experiments.exp_ha_scalability import (
+    run_ha_fleet_sweep,
+    run_ha_scalability_experiment,
+)
 from repro.experiments.exp_registration import run_registration_experiment
 from repro.experiments.exp_routing_options import run_routing_options_experiment
 from repro.experiments.exp_same_subnet import run_same_subnet_experiment
@@ -41,35 +55,59 @@ from repro.experiments.exp_smart_correspondent import (
 
 RUNNERS = {
     "e1": ("Same-subnet address switch (Section 4)",
-           lambda: run_same_subnet_experiment().format_report()),
+           lambda jobs: run_same_subnet_experiment(jobs=jobs).format_report()),
     "f6": ("Device switching overhead (Figure 6)",
-           lambda: run_device_switch_experiment().format_report()),
+           lambda jobs: run_device_switch_experiment(jobs=jobs).format_report()),
     "f7": ("Registration time-line (Figure 7)",
-           lambda: run_registration_experiment().format_report()),
+           lambda jobs: run_registration_experiment(jobs=jobs).format_report()),
     "f3": ("Routing options (Section 3.2 / Figure 3)",
-           lambda: run_routing_options_experiment().format_report()),
+           lambda jobs: run_routing_options_experiment(jobs=jobs).format_report()),
     "a1": ("Foreign-agent ablation (Section 5.1)",
-           lambda: run_fa_ablation().format_report()),
+           lambda jobs: run_fa_ablation(jobs=jobs).format_report()),
     "x1": ("Smart correspondents: reverse-path routing (extension)",
-           lambda: run_smart_correspondent_experiment().format_report()),
+           lambda jobs: run_smart_correspondent_experiment(jobs=jobs)
+           .format_report()),
     "x2": ("Home-agent scalability (Section 4's claim, extension)",
-           lambda: run_ha_scalability_experiment().format_report()),
+           lambda jobs: run_ha_scalability_experiment(jobs=jobs)
+           .format_report()),
     "x3": ("Auto-switch probe cadence ablation (Section 6, extension)",
-           lambda: run_autoswitch_experiment().format_report()),
+           lambda jobs: run_autoswitch_experiment(jobs=jobs).format_report()),
+    "x4": ("Home-agent fleet sweep: 100-1000 hosts, sharded (extension)",
+           lambda jobs: run_ha_fleet_sweep(jobs=jobs).format_report()),
 }
 
 
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Run the paper's experiments and print their reports.")
+    parser.add_argument("ids", nargs="*", metavar="id",
+                        help=f"experiment ids to run "
+                             f"(default: all of {', '.join(RUNNERS)})")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for trial execution "
+                             "(1 = in-process, 0 = one per CPU; results "
+                             "are identical at any value)")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print merged metrics registries per experiment")
+    parser.add_argument("--figures", action="store_true",
+                        help="render ASCII figures 6 and 7 instead")
+    return parser
+
+
 def main(argv: list) -> int:
-    if "--figures" in argv:
+    args = _parser().parse_args(argv)
+    if args.jobs < 0:
+        print(f"--jobs must be >= 0, got {args.jobs}", file=sys.stderr)
+        return 2
+    if args.figures:
         from repro.experiments.figures import render_figure6, render_figure7
 
-        print(render_figure7(run_registration_experiment()))
+        print(render_figure7(run_registration_experiment(jobs=args.jobs)))
         print()
-        print(render_figure6(run_device_switch_experiment()))
+        print(render_figure6(run_device_switch_experiment(jobs=args.jobs)))
         return 0
-    with_metrics = "--metrics" in argv
-    requested = [arg.lower() for arg in argv
-                 if arg != "--metrics"] or list(RUNNERS)
+    requested = [name.lower() for name in args.ids] or list(RUNNERS)
     unknown = [name for name in requested if name not in RUNNERS]
     if unknown:
         print(f"unknown experiment ids: {', '.join(unknown)}; "
@@ -79,10 +117,10 @@ def main(argv: list) -> int:
         title, runner = RUNNERS[name]
         banner = f"=== {name}: {title} ==="
         print(banner)
-        if with_metrics:
+        if args.metrics:
             with capture_simulators() as captured, \
                     capture_policy_tables() as tables:
-                report = runner()
+                report = runner(args.jobs)
             print(report)
             print()
             print(format_reports((sim.metrics for sim in captured),
@@ -90,7 +128,7 @@ def main(argv: list) -> int:
             if tables:
                 print(format_policy_tables(tables))
         else:
-            print(runner())
+            print(runner(args.jobs))
         print()
     return 0
 

@@ -18,11 +18,12 @@ so the sweep exposes the real trade-off curve the paper wanted to study.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from repro.config import Config, DEFAULT_CONFIG
 from repro.core.autoswitch import AttachmentOption, ConnectivityManager
 from repro.experiments.harness import format_table
+from repro.parallel import ParallelRunner, Trial, run_trials
 from repro.sim.engine import Simulator
 from repro.sim.units import ms, s
 from repro.testbed import build_testbed
@@ -102,15 +103,43 @@ def _run_point(interval: int, seed: int, config: Config) -> SweepPoint:
                       probes_per_second=probes_per_second)
 
 
+def run_autoswitch_trial(interval_ns: int, seed: int,
+                         config: Config = DEFAULT_CONFIG) -> dict:
+    """One probe-cadence sweep point as a pure trial."""
+    point = _run_point(interval_ns, seed, config)
+    return {"probe_interval_ms": point.probe_interval_ms,
+            "packets_lost": point.packets_lost,
+            "failover_ms": point.failover_ms,
+            "probes_per_second": point.probes_per_second}
+
+
+def build_autoswitch_trials(intervals_ms, seed: int,
+                            config: Config) -> List[Trial]:
+    """One trial per sweep point, seed = base + index."""
+    return [Trial("repro.experiments.exp_autoswitch:run_autoswitch_trial",
+                  dict(interval_ns=ms(interval_ms), seed=seed + index,
+                       config=config))
+            for index, interval_ms in enumerate(intervals_ms)]
+
+
+def merge_autoswitch_trials(results: List[dict]) -> AutoswitchReport:
+    """Reassemble ordered sweep points into the report."""
+    report = AutoswitchReport()
+    for result in results:
+        report.points.append(SweepPoint(**result))
+    return report
+
+
 def run_autoswitch_experiment(intervals_ms=DEFAULT_INTERVALS_MS,
                               seed: int = 71,
-                              config: Config = DEFAULT_CONFIG
+                              config: Config = DEFAULT_CONFIG,
+                              jobs: int = 1,
+                              runner: Optional[ParallelRunner] = None
                               ) -> AutoswitchReport:
-    report = AutoswitchReport()
-    for index, interval_ms in enumerate(intervals_ms):
-        report.points.append(_run_point(ms(interval_ms), seed + index,
-                                        config))
-    return report
+    """Sweep the probe cadence; each point is an independent trial."""
+    trials = build_autoswitch_trials(intervals_ms, seed, config)
+    results = run_trials(trials, jobs=jobs, runner=runner)
+    return merge_autoswitch_trials(results)
 
 
 if __name__ == "__main__":  # pragma: no cover

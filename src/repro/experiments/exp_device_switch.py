@@ -21,11 +21,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.config import Config, DEFAULT_CONFIG
 from repro.core.handoff import DeviceSwitcher, SwitchTimeline
 from repro.experiments.harness import format_histogram, histogram
+from repro.parallel import ParallelRunner, Trial, run_trials
 from repro.sim.engine import Simulator
 from repro.sim.units import ms, s
 from repro.testbed import Testbed, build_testbed
@@ -164,41 +165,78 @@ def _switch(testbed: Testbed, case: SwitchCase,
         switcher.hot_switch(new_iface, care_of, net, gateway, on_done=on_done)
 
 
+def run_device_switch_trial(case_name: str, index: int, iterations: int,
+                            seed: int,
+                            config: Config = DEFAULT_CONFIG) -> dict:
+    """One (case, iteration) cell of Figure 6 as a pure trial unit."""
+    case = SwitchCase[case_name]
+    testbed = _prepare(seed, config, case)
+    sim = testbed.sim
+    addresses = testbed.addresses
+    UdpEchoResponder(testbed.mobile)
+    stream = UdpEchoStream(testbed.correspondent, addresses.mh_home,
+                           interval=PROBE_INTERVAL)
+    sim.run_for(ms(800))  # initial registration settles
+    stream.start()
+    sim.run_for(s(2))
+
+    timelines: List[SwitchTimeline] = []
+    # Spread the switch start across one probe interval.
+    phase = (index * PROBE_INTERVAL) // max(iterations, 1)
+    sim.call_later(phase, lambda: _switch(testbed, case, timelines.append))
+    sim.run_for(s(6))
+    stream.stop()
+    sim.run_for(s(3))  # drain radio-delayed stragglers
+
+    if not timelines or not timelines[0].success:
+        raise RuntimeError(f"{case.value} iteration {index} failed")
+    return {"loss": stream.lost_count(),
+            "switch_total_ms": timelines[0].total / 1_000_000}
+
+
+def build_device_switch_trials(iterations: int, seed: int,
+                               config: Config) -> List[Trial]:
+    """4 cases x *iterations* trials, seeds exactly as the serial loop."""
+    trials: List[Trial] = []
+    for case_index, case in enumerate(SwitchCase):
+        for index in range(iterations):
+            trials.append(Trial(
+                "repro.experiments.exp_device_switch:run_device_switch_trial",
+                dict(case_name=case.name, index=index, iterations=iterations,
+                     seed=seed + index * 131 + case_index * 9973,
+                     config=config)))
+    return trials
+
+
+def merge_device_switch_trials(results: List[dict],
+                               iterations: int) -> DeviceSwitchReport:
+    """Regroup the ordered (case-major) trial results into the report."""
+    report = DeviceSwitchReport(iterations=iterations)
+    cursor = iter(results)
+    for case in SwitchCase:
+        case_result = CaseResult(case=case)
+        for _ in range(iterations):
+            result = next(cursor)
+            case_result.losses.append(result["loss"])
+            case_result.switch_totals_ms.append(result["switch_total_ms"])
+        report.cases[case] = case_result
+    return report
+
+
 def run_device_switch_experiment(iterations: int = PAPER_ITERATIONS,
                                  seed: int = 23,
-                                 config: Config = DEFAULT_CONFIG
+                                 config: Config = DEFAULT_CONFIG,
+                                 jobs: int = 1,
+                                 runner: Optional[ParallelRunner] = None
                                  ) -> DeviceSwitchReport:
-    """Reproduce Figure 6: 4 cases x *iterations*, loss histograms."""
-    report = DeviceSwitchReport(iterations=iterations)
-    for case_index, case in enumerate(SwitchCase):
-        result = CaseResult(case=case)
-        for index in range(iterations):
-            testbed = _prepare(seed + index * 131 + case_index * 9973,
-                               config, case)
-            sim = testbed.sim
-            addresses = testbed.addresses
-            UdpEchoResponder(testbed.mobile)
-            stream = UdpEchoStream(testbed.correspondent, addresses.mh_home,
-                                   interval=PROBE_INTERVAL)
-            sim.run_for(ms(800))  # initial registration settles
-            stream.start()
-            sim.run_for(s(2))
+    """Reproduce Figure 6: 4 cases x *iterations*, loss histograms.
 
-            timelines: List[SwitchTimeline] = []
-            # Spread the switch start across one probe interval.
-            phase = (index * PROBE_INTERVAL) // max(iterations, 1)
-            sim.call_later(phase, lambda: _switch(testbed, case,
-                                                  timelines.append))
-            sim.run_for(s(6))
-            stream.stop()
-            sim.run_for(s(3))  # drain radio-delayed stragglers
-
-            if not timelines or not timelines[0].success:
-                raise RuntimeError(f"{case.value} iteration {index} failed")
-            result.losses.append(stream.lost_count())
-            result.switch_totals_ms.append(timelines[0].total / 1_000_000)
-        report.cases[case] = result
-    return report
+    Every (case, iteration) cell is an independent trial, so ``jobs=N``
+    shards all ``4 * iterations`` of them across workers.
+    """
+    trials = build_device_switch_trials(iterations, seed, config)
+    results = run_trials(trials, jobs=jobs, runner=runner)
+    return merge_device_switch_trials(results, iterations)
 
 
 if __name__ == "__main__":  # pragma: no cover

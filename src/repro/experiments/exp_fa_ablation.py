@@ -31,11 +31,12 @@ everywhere.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 from repro.config import Config, DEFAULT_CONFIG
 from repro.core.handoff import DeviceSwitcher, SwitchTimeline
 from repro.experiments.harness import format_histogram, histogram
+from repro.parallel import ParallelRunner, Trial, run_trials
 from repro.sim.engine import Simulator
 from repro.sim.units import ms, s
 from repro.testbed import build_testbed
@@ -174,17 +175,53 @@ def _run_once_with_fa(seed: int, config: Config) -> tuple:
     return stream.lost_count(), fa.packets_forwarded_after_departure
 
 
-def run_fa_ablation(iterations: int = 10, seed: int = 47,
-                    config: Config = DEFAULT_CONFIG) -> FAAblationReport:
-    """Run both configurations *iterations* times and compare loss."""
-    report = FAAblationReport(iterations=iterations)
+def run_fa_trial(with_fa: bool, seed: int,
+                 config: Config = DEFAULT_CONFIG) -> dict:
+    """One cold radio->ethernet move in either configuration."""
+    if with_fa:
+        lost, forwarded = _run_once_with_fa(seed, config)
+        return {"loss": lost, "forwarded": forwarded}
+    return {"loss": _run_once_without_fa(seed, config), "forwarded": None}
+
+
+def build_fa_ablation_trials(iterations: int, seed: int,
+                             config: Config) -> List[Trial]:
+    """Interleaved (without, with) pairs, seeds as the serial loop."""
+    func = "repro.experiments.exp_fa_ablation:run_fa_trial"
+    trials: List[Trial] = []
     for index in range(iterations):
-        report.losses_without_fa.append(
-            _run_once_without_fa(seed + index, config))
-        lost, forwarded = _run_once_with_fa(seed + 1000 + index, config)
-        report.losses_with_fa.append(lost)
-        report.forwarded_by_fa.append(forwarded)
+        trials.append(Trial(func, dict(with_fa=False, seed=seed + index,
+                                       config=config)))
+        trials.append(Trial(func, dict(with_fa=True,
+                                       seed=seed + 1000 + index,
+                                       config=config)))
+    return trials
+
+
+def merge_fa_ablation_trials(results: List[dict],
+                             iterations: int) -> FAAblationReport:
+    """Split the interleaved results back into the two configurations."""
+    report = FAAblationReport(iterations=iterations)
+    for without, with_fa in zip(results[0::2], results[1::2]):
+        report.losses_without_fa.append(without["loss"])
+        report.losses_with_fa.append(with_fa["loss"])
+        report.forwarded_by_fa.append(with_fa["forwarded"])
     return report
+
+
+def run_fa_ablation(iterations: int = 10, seed: int = 47,
+                    config: Config = DEFAULT_CONFIG,
+                    jobs: int = 1,
+                    runner: Optional[ParallelRunner] = None
+                    ) -> FAAblationReport:
+    """Run both configurations *iterations* times and compare loss.
+
+    Every run is an independent trial (2 x *iterations* of them), so
+    ``jobs=N`` shards the whole comparison across workers.
+    """
+    trials = build_fa_ablation_trials(iterations, seed, config)
+    results = run_trials(trials, jobs=jobs, runner=runner)
+    return merge_fa_ablation_trials(results, iterations)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -10,23 +10,52 @@ same instant.  The home agent serializes processing (one CPU), so the
 question is how registration latency degrades with N — linearly in the
 ~1.5 ms per-request processing cost, which stays comfortably under a
 typical binding lifetime even for hundreds of hosts.
+
+Two harnesses share the fleet machinery:
+
+* :func:`run_ha_scalability_experiment` — the original single-agent
+  sweep (1–50 hosts, one simulation per fleet size).
+* :func:`run_ha_fleet_sweep` — the production-scale extension: fleets of
+  100–1000 hosts **sharded across workers**, each shard a replica home
+  agent serving ~100 hosts in its own simulation (the /24 home subnet
+  bounds a single agent's address pool at ~150 hosts — sharding is how a
+  real deployment would scale past it).  Per-shard latency ``Stats``
+  merge via Welford partials into fleet-level numbers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.config import Config, DEFAULT_CONFIG
 from repro.core.mobile_host import MobileHost
 from repro.core.registration import RegistrationOutcome
-from repro.experiments.harness import Stats, format_table, summarize_ms
+from repro.experiments.harness import (
+    Stats,
+    format_table,
+    merge_stats,
+    summarize_ms,
+)
 from repro.net.interface import EthernetInterface, InterfaceState
+from repro.parallel import (
+    ParallelRunner,
+    Trial,
+    balanced_shards,
+    run_trials,
+    spawn_seed,
+)
 from repro.sim.engine import Simulator
 from repro.sim.units import ms, s
 from repro.testbed import build_testbed
 
 DEFAULT_FLEET_SIZES = (1, 5, 10, 25, 50)
+#: The production-scale sweep (run via experiment id ``x4``).
+LARGE_FLEET_SIZES = (100, 250, 500, 1000)
+#: Hosts per shard in the large sweep: keeps each replica agent's pool
+#: well inside the /24 home subnet (indices 100..254) and the shards
+#: balanced across a typical worker count.
+DEFAULT_SHARD_HOSTS = 100
 
 
 @dataclass
@@ -96,14 +125,143 @@ def _run_fleet(fleet_size: int, seed: int, config: Config) -> FleetResult:
                        latency=summarize_ms(latencies))
 
 
+def run_fleet_trial(fleet_size: int, seed: int,
+                    config: Config = DEFAULT_CONFIG) -> dict:
+    """One fleet (or one shard of a larger fleet) as a pure trial.
+
+    Returns the accepted count plus the latency summary as plain data —
+    shards ship their partial ``Stats``, not raw samples, and the merge
+    step combines them exactly (Welford partial merge).
+    """
+    result = _run_fleet(fleet_size, seed, config)
+    return {"fleet_size": result.fleet_size,
+            "accepted": result.accepted,
+            "latency": {"count": result.latency.count,
+                        "mean": result.latency.mean,
+                        "std": result.latency.std,
+                        "minimum": result.latency.minimum,
+                        "maximum": result.latency.maximum}}
+
+
+def build_ha_scalability_trials(fleet_sizes, seed: int,
+                                config: Config) -> List[Trial]:
+    """One trial per fleet size, seed = base + index."""
+    return [Trial("repro.experiments.exp_ha_scalability:run_fleet_trial",
+                  dict(fleet_size=fleet_size, seed=seed + index,
+                       config=config))
+            for index, fleet_size in enumerate(fleet_sizes)]
+
+
+def merge_ha_scalability_trials(results: List[dict]) -> HAScalabilityReport:
+    """Reassemble per-fleet trial results into the report."""
+    report = HAScalabilityReport()
+    for result in results:
+        report.results.append(FleetResult(
+            fleet_size=result["fleet_size"],
+            accepted=result["accepted"],
+            latency=Stats(**result["latency"])))
+    return report
+
+
 def run_ha_scalability_experiment(fleet_sizes=DEFAULT_FLEET_SIZES,
                                   seed: int = 83,
-                                  config: Config = DEFAULT_CONFIG
+                                  config: Config = DEFAULT_CONFIG,
+                                  jobs: int = 1,
+                                  runner: Optional[ParallelRunner] = None
                                   ) -> HAScalabilityReport:
-    report = HAScalabilityReport()
-    for index, fleet_size in enumerate(fleet_sizes):
-        report.results.append(_run_fleet(fleet_size, seed + index, config))
+    """The original sweep: one simulation per fleet size."""
+    trials = build_ha_scalability_trials(fleet_sizes, seed, config)
+    results = run_trials(trials, jobs=jobs, runner=runner)
+    return merge_ha_scalability_trials(results)
+
+
+# --------------------------------------------------------------- large fleets
+
+
+@dataclass
+class ShardedFleetResult:
+    """One fleet size of the large sweep, merged across its shards."""
+
+    fleet_size: int
+    shards: int
+    accepted: int
+    latency: Stats
+
+
+@dataclass
+class HAFleetSweepReport:
+    """Fleets of 100-1000 hosts, each sharded across replica agents."""
+
+    shard_hosts: int
+    results: List[ShardedFleetResult] = field(default_factory=list)
+
+    def format_report(self) -> str:
+        """Render the fleet-size vs latency table, with shard counts."""
+        rows = [(result.fleet_size, result.shards, result.accepted,
+                 result.latency.format_ms(),
+                 f"{result.latency.maximum:.2f}")
+                for result in self.results]
+        table = format_table(
+            ("mobile hosts", "HA shards", "accepted",
+             "reg latency ms: mean (std)", "max ms"), rows)
+        return ("Home-agent fleet sweep: 100-1000 hosts sharded across "
+                f"replica agents ({self.shard_hosts} hosts/shard)\n" + table)
+
+
+def build_ha_fleet_sweep_trials(fleet_sizes, seed: int, config: Config,
+                                shard_hosts: int = DEFAULT_SHARD_HOSTS
+                                ) -> List[Trial]:
+    """Shard every fleet into ~*shard_hosts* chunks, one trial per shard.
+
+    Shard seeds are ``spawn_seed(base, fleet_index, shard_index)`` —
+    a pure function of position, so worker count never changes them.
+    """
+    trials: List[Trial] = []
+    for fleet_index, fleet_size in enumerate(fleet_sizes):
+        for shard_index, shard_size in enumerate(
+                balanced_shards(fleet_size, shard_hosts)):
+            trials.append(Trial(
+                "repro.experiments.exp_ha_scalability:run_fleet_trial",
+                dict(fleet_size=shard_size,
+                     seed=spawn_seed(seed, fleet_index, shard_index),
+                     config=config)))
+    return trials
+
+
+def merge_ha_fleet_sweep_trials(results: List[dict], fleet_sizes,
+                                shard_hosts: int = DEFAULT_SHARD_HOSTS
+                                ) -> HAFleetSweepReport:
+    """Fold per-shard partial Stats into fleet-level results, in order."""
+    report = HAFleetSweepReport(shard_hosts=shard_hosts)
+    cursor = iter(results)
+    for fleet_size in fleet_sizes:
+        shard_sizes = balanced_shards(fleet_size, shard_hosts)
+        shard_results = [next(cursor) for _ in shard_sizes]
+        report.results.append(ShardedFleetResult(
+            fleet_size=fleet_size,
+            shards=len(shard_sizes),
+            accepted=sum(result["accepted"] for result in shard_results),
+            latency=merge_stats([Stats(**result["latency"])
+                                 for result in shard_results])))
     return report
+
+
+def run_ha_fleet_sweep(fleet_sizes=LARGE_FLEET_SIZES, seed: int = 97,
+                       config: Config = DEFAULT_CONFIG,
+                       shard_hosts: int = DEFAULT_SHARD_HOSTS,
+                       jobs: int = 1,
+                       runner: Optional[ParallelRunner] = None
+                       ) -> HAFleetSweepReport:
+    """The production-scale extension: 100-1000 hosts per fleet.
+
+    Each shard is an independent simulation of a replica home agent
+    serving its slice of the fleet; ``jobs=N`` runs shards across
+    workers and the merge is byte-identical at any worker count.
+    """
+    trials = build_ha_fleet_sweep_trials(fleet_sizes, seed, config,
+                                         shard_hosts)
+    results = run_trials(trials, jobs=jobs, runner=runner)
+    return merge_ha_fleet_sweep_trials(results, fleet_sizes, shard_hosts)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -20,7 +20,7 @@ and standard deviation exactly like the figure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.config import Config, DEFAULT_CONFIG
 from repro.core.handoff import (
@@ -32,6 +32,7 @@ from repro.core.handoff import (
     SwitchTimeline,
 )
 from repro.experiments.harness import Stats, format_table, summarize_ms
+from repro.parallel import ParallelRunner, Trial, run_trials
 from repro.sim.engine import Simulator
 from repro.sim.units import ms
 from repro.testbed import build_testbed
@@ -71,15 +72,14 @@ class RegistrationReport:
                 f"(average of {self.iterations} tests)\n{table}")
 
 
-def run_registration_experiment(iterations: int = 10, seed: int = 7,
-                                config: Config = DEFAULT_CONFIG
-                                ) -> RegistrationReport:
-    """Reproduce Figure 7.
+def run_registration_trial(iterations: int, seed: int,
+                           config: Config = DEFAULT_CONFIG) -> dict:
+    """The whole Figure 7 time-line as one trial, plain-data out.
 
-    One testbed; the mobile host flips between two care-of addresses on
-    net 36.8 *iterations* times.  Home-agent processing time is read from
-    the registration trace (``ha_received`` -> ``ha_reply``), matching how
-    the paper instrumented the home agent itself.
+    The iterations share one testbed (each switch starts from the state
+    the previous one left), so this experiment is a *single* sequential
+    trial — the parallel runner cannot split it, but can overlap it with
+    other experiments' trials.
     """
     sim = Simulator(seed=seed)
     testbed = build_testbed(sim, config, with_remote_correspondent=False,
@@ -101,19 +101,58 @@ def run_registration_experiment(iterations: int = 10, seed: int = 7,
             raise RuntimeError(f"registration iteration {index} failed")
         timelines.append(done[0])
 
+    stage_durations = {
+        stage_name: [timeline.duration_of(stage_name)
+                     for timeline in timelines]
+        for stage_name in (STAGE_CONFIGURE, STAGE_ROUTE_UPDATE,
+                           STAGE_REGISTRATION, STAGE_POST)
+    }
+    return {
+        "stages": stage_durations,
+        "request_reply": [timeline.registration_round_trip
+                          for timeline in timelines],
+        "total": [timeline.total for timeline in timelines],
+        "ha_processing": _ha_processing_times(
+            sim, [t.registration.reply.identification for t in timelines
+                  if t.registration and t.registration.reply]),
+    }
+
+
+def build_registration_trials(iterations: int, seed: int,
+                              config: Config) -> List[Trial]:
+    """One sequential trial (the iterations share a testbed)."""
+    return [Trial("repro.experiments.exp_registration:run_registration_trial",
+                  dict(iterations=iterations, seed=seed, config=config))]
+
+
+def merge_registration_trials(results: List[dict],
+                              iterations: int) -> RegistrationReport:
+    """Summarize the single trial's raw nanosecond samples."""
+    (result,) = results
     report = RegistrationReport(iterations=iterations)
-    for stage_name in (STAGE_CONFIGURE, STAGE_ROUTE_UPDATE,
-                       STAGE_REGISTRATION, STAGE_POST):
-        report.stages[stage_name] = summarize_ms(
-            [timeline.duration_of(stage_name) for timeline in timelines])
-    report.request_reply = summarize_ms(
-        [timeline.registration_round_trip for timeline in timelines])
-    report.total = summarize_ms([timeline.total for timeline in timelines])
-    report.ha_processing = summarize_ms(
-        _ha_processing_times(sim, [t.registration.reply.identification
-                                   for t in timelines if t.registration
-                                   and t.registration.reply]))
+    for stage_name, samples in result["stages"].items():
+        report.stages[stage_name] = summarize_ms(samples)
+    report.request_reply = summarize_ms(result["request_reply"])
+    report.total = summarize_ms(result["total"])
+    report.ha_processing = summarize_ms(result["ha_processing"])
     return report
+
+
+def run_registration_experiment(iterations: int = 10, seed: int = 7,
+                                config: Config = DEFAULT_CONFIG,
+                                jobs: int = 1,
+                                runner: Optional[ParallelRunner] = None
+                                ) -> RegistrationReport:
+    """Reproduce Figure 7.
+
+    One testbed; the mobile host flips between two care-of addresses on
+    net 36.8 *iterations* times.  Home-agent processing time is read from
+    the registration trace (``ha_received`` -> ``ha_reply``), matching how
+    the paper instrumented the home agent itself.
+    """
+    trials = build_registration_trials(iterations, seed, config)
+    results = run_trials(trials, jobs=jobs, runner=runner)
+    return merge_registration_trials(results, iterations)
 
 
 def _ha_processing_times(sim: Simulator, idents: List[int]) -> List[int]:

@@ -26,6 +26,7 @@ from repro.config import Config, DEFAULT_CONFIG
 from repro.core.policy import RoutingMode
 from repro.experiments.harness import Stats, format_table, summarize_ms
 from repro.net.packet import IP_HEADER_BYTES
+from repro.parallel import ParallelRunner, Trial, run_trials
 from repro.sim.engine import Simulator
 from repro.sim.units import ms, s
 from repro.testbed import build_testbed
@@ -90,16 +91,35 @@ class RoutingOptionsReport:
         return "\n".join(lines)
 
 
+def run_mode_probe_trial(mode_name: str, probes: int, seed: int,
+                         transit_filter: bool, nearby: bool,
+                         config: Config = DEFAULT_CONFIG) -> dict:
+    """One (mode, correspondent, filter) measurement as a pure trial.
+
+    Returns ``{"rtts_ns": [...]}``; the list is empty when every probe
+    was lost (mode unusable in this setup).
+    """
+    stats = _measure_mode(RoutingMode[mode_name], probes, seed, config,
+                          transit_filter=transit_filter, nearby=nearby)
+    return {"rtts_ns": stats}
+
+
+def run_fallback_trial(seed: int, config: Config = DEFAULT_CONFIG) -> dict:
+    """The probe-and-fallback demonstration as a pure trial."""
+    probe_failed, recovered = _fallback_demo(seed, config)
+    return {"probe_failed": probe_failed, "recovered": recovered}
+
+
 def _measure_mode(mode: RoutingMode, probes: int, seed: int,
                   config: Config, transit_filter: bool,
-                  nearby: bool) -> Optional[Stats]:
-    """Echo RTTs from the visiting MH to a correspondent under one mode.
+                  nearby: bool) -> List[int]:
+    """Echo RTTs (raw ns) from the visiting MH to a correspondent.
 
-    Returns None if every probe was lost (mode unusable in this setup).
-    The MH visits the *remote* network (36.40); with ``nearby`` the probes
-    target the correspondent on that same LAN, otherwise the department
-    correspondent across the backbone.  With *transit_filter* the remote
-    router enforces ingress filtering.
+    Returns an empty list if every probe was lost (mode unusable in this
+    setup).  The MH visits the *remote* network (36.40); with ``nearby``
+    the probes target the correspondent on that same LAN, otherwise the
+    department correspondent across the backbone.  With *transit_filter*
+    the remote router enforces ingress filtering.
     """
     sim = Simulator(seed=seed)
     testbed = build_testbed(sim, config, with_dhcp=False)
@@ -129,10 +149,7 @@ def _measure_mode(mode: RoutingMode, probes: int, seed: int,
     sim.run_for(ms(120) * probes)
     stream.stop()
     sim.run_for(s(2))
-    rtts = stream.rtts()
-    if not rtts:
-        return None
-    return summarize_ms(rtts)
+    return list(stream.rtts())
 
 
 def _encap_overhead(mode: RoutingMode) -> int:
@@ -169,32 +186,65 @@ def _fallback_demo(seed: int, config: Config) -> tuple:
     return probe_failed, recovered
 
 
-def run_routing_options_experiment(probes: int = 20, seed: int = 31,
-                                   config: Config = DEFAULT_CONFIG
-                                   ) -> RoutingOptionsReport:
-    """Measure all four routing modes plus the dynamic fallback."""
-    report = RoutingOptionsReport(probes_per_mode=probes)
+def build_routing_options_trials(probes: int, seed: int,
+                                 config: Config) -> List[Trial]:
+    """Three measurements per mode plus the fallback demo, mode-major."""
+    measure = "repro.experiments.exp_routing_options:run_mode_probe_trial"
+    trials: List[Trial] = []
     for index, mode in enumerate(RoutingMode):
-        nearby_rtt = _measure_mode(mode, probes, seed + index, config,
-                                   transit_filter=False, nearby=True)
-        distant_rtt = _measure_mode(mode, probes, seed + 50 + index, config,
-                                    transit_filter=False, nearby=False)
-        filtered_rtt = _measure_mode(mode, probes, seed + 100 + index, config,
-                                     transit_filter=True, nearby=False)
-        if nearby_rtt is None or distant_rtt is None:
+        trials.append(Trial(measure, dict(
+            mode_name=mode.name, probes=probes, seed=seed + index,
+            transit_filter=False, nearby=True, config=config)))
+        trials.append(Trial(measure, dict(
+            mode_name=mode.name, probes=probes, seed=seed + 50 + index,
+            transit_filter=False, nearby=False, config=config)))
+        trials.append(Trial(measure, dict(
+            mode_name=mode.name, probes=probes, seed=seed + 100 + index,
+            transit_filter=True, nearby=False, config=config)))
+    trials.append(Trial(
+        "repro.experiments.exp_routing_options:run_fallback_trial",
+        dict(seed=seed + 500, config=config)))
+    return trials
+
+
+def merge_routing_options_trials(results: List[dict],
+                                 probes: int) -> RoutingOptionsReport:
+    """Reassemble the mode-major (nearby, distant, filtered) triples."""
+    report = RoutingOptionsReport(probes_per_mode=probes)
+    cursor = iter(results)
+    for mode in RoutingMode:
+        nearby_rtts = next(cursor)["rtts_ns"]
+        distant_rtts = next(cursor)["rtts_ns"]
+        filtered_rtts = next(cursor)["rtts_ns"]
+        if not nearby_rtts or not distant_rtts:
             raise RuntimeError(f"mode {mode.value} failed on the open network")
         report.results[mode] = ModeResult(
             mode=mode,
-            rtt_nearby=nearby_rtt,
-            rtt_distant=distant_rtt,
+            rtt_nearby=summarize_ms(nearby_rtts),
+            rtt_distant=summarize_ms(distant_rtts),
             encap_overhead_bytes=_encap_overhead(mode),
-            survives_transit_filter=filtered_rtt is not None,
+            survives_transit_filter=bool(filtered_rtts),
             preserves_mobility=mode.preserves_mobility,
         )
-    failed, recovered = _fallback_demo(seed + 500, config)
-    report.fallback_probe_failed = failed
-    report.fallback_recovered = recovered
+    fallback = next(cursor)
+    report.fallback_probe_failed = fallback["probe_failed"]
+    report.fallback_recovered = fallback["recovered"]
     return report
+
+
+def run_routing_options_experiment(probes: int = 20, seed: int = 31,
+                                   config: Config = DEFAULT_CONFIG,
+                                   jobs: int = 1,
+                                   runner: Optional[ParallelRunner] = None
+                                   ) -> RoutingOptionsReport:
+    """Measure all four routing modes plus the dynamic fallback.
+
+    The 13 measurements (4 modes x 3 scenarios + fallback demo) are
+    independent trials sharded across workers by ``jobs=N``.
+    """
+    trials = build_routing_options_trials(probes, seed, config)
+    results = run_trials(trials, jobs=jobs, runner=runner)
+    return merge_routing_options_trials(results, probes)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -19,11 +19,12 @@ same sampling for free from real-world scheduling noise.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.config import Config, DEFAULT_CONFIG
 from repro.core.handoff import AddressSwitcher, SwitchTimeline
 from repro.experiments.harness import format_histogram, histogram, spread_phases
+from repro.parallel import ParallelRunner, Trial, run_trials
 from repro.sim.engine import Simulator
 from repro.sim.units import ms
 from repro.testbed import build_testbed
@@ -77,48 +78,82 @@ class SameSubnetReport:
         return "\n".join(lines)
 
 
+def run_same_subnet_trial(index: int, iterations: int, seed: int,
+                          probe_interval: int,
+                          config: Config = DEFAULT_CONFIG) -> dict:
+    """One independent switch measurement: fresh testbed, one switch.
+
+    Pure trial unit: ``(params, seed) -> plain data``.  *seed* is the
+    iteration's own seed (the builder derives it); *index*/*iterations*
+    only position the switch phase within the probe interval.
+    """
+    switch_time = spread_phases(iterations, probe_interval,
+                                base_ns=ms(1500))[index]
+    sim = Simulator(seed=seed)
+    testbed = build_testbed(sim, config, with_remote_correspondent=False,
+                            with_dhcp=False)
+    addresses = testbed.addresses
+    testbed.visit_dept()
+    UdpEchoResponder(testbed.mobile)
+    stream = UdpEchoStream(testbed.correspondent, addresses.mh_home,
+                           interval=probe_interval)
+    sim.run_for(ms(500))  # initial registration settles
+    stream.start()
+
+    timelines: List[SwitchTimeline] = []
+    sim.call_at(switch_time,
+                lambda: AddressSwitcher(testbed.mobile).switch_address(
+                    addresses.mh_dept_care_of_2,
+                    on_done=timelines.append),
+                label="exp-switch")
+    sim.run(until=ms(2500))
+    stream.stop()
+    sim.run_for(ms(1000))  # let stragglers drain before counting
+
+    if not timelines or not timelines[0].success:
+        raise RuntimeError(f"iteration {index}: switch failed")
+    return {"loss": stream.lost_count(),
+            "switch_total_ms": timelines[0].total / 1_000_000}
+
+
+def build_same_subnet_trials(iterations: int, seed: int,
+                             probe_interval: int,
+                             config: Config) -> List[Trial]:
+    """One trial per iteration; seed = base + index, as the serial loop did."""
+    return [Trial("repro.experiments.exp_same_subnet:run_same_subnet_trial",
+                  dict(index=index, iterations=iterations, seed=seed + index,
+                       probe_interval=probe_interval, config=config))
+            for index in range(iterations)]
+
+
+def merge_same_subnet_trials(results: List[dict], iterations: int,
+                             probe_interval: int) -> SameSubnetReport:
+    """Reassemble ordered trial results into the report."""
+    report = SameSubnetReport(iterations=iterations,
+                              probe_interval_ms=probe_interval / 1_000_000)
+    for result in results:
+        report.losses.append(result["loss"])
+        report.switch_totals_ms.append(result["switch_total_ms"])
+    return report
+
+
 def run_same_subnet_experiment(iterations: int = 20, seed: int = 11,
                                probe_interval: int = ms(10),
-                               config: Config = DEFAULT_CONFIG
+                               config: Config = DEFAULT_CONFIG,
+                               jobs: int = 1,
+                               runner: Optional[ParallelRunner] = None
                                ) -> SameSubnetReport:
     """Reproduce the twenty-iteration same-subnet switch measurement.
 
     Each iteration uses a fresh testbed (independent runs, like the
     paper's), starts the 10 ms echo stream, switches the care-of address
     at a phase-spread instant, and counts end-to-end echo losses.
+    Iterations are independent trials, so ``jobs=N`` shards them across
+    workers with byte-identical results.
     """
-    report = SameSubnetReport(iterations=iterations,
-                              probe_interval_ms=probe_interval / 1_000_000)
-    switch_times = spread_phases(iterations, probe_interval, base_ns=ms(1500))
-
-    for index in range(iterations):
-        sim = Simulator(seed=seed + index)
-        testbed = build_testbed(sim, config, with_remote_correspondent=False,
-                                with_dhcp=False)
-        addresses = testbed.addresses
-        testbed.visit_dept()
-        UdpEchoResponder(testbed.mobile)
-        stream = UdpEchoStream(testbed.correspondent, addresses.mh_home,
-                               interval=probe_interval)
-        sim.run_for(ms(500))  # initial registration settles
-        stream.start()
-
-        timelines: List[SwitchTimeline] = []
-        sim.call_at(switch_times[index],
-                    lambda: AddressSwitcher(testbed.mobile).switch_address(
-                        addresses.mh_dept_care_of_2,
-                        on_done=timelines.append),
-                    label="exp-switch")
-        sim.run(until=ms(2500))
-        stream.stop()
-        sim.run_for(ms(1000))  # let stragglers drain before counting
-
-        if not timelines or not timelines[0].success:
-            raise RuntimeError(f"iteration {index}: switch failed")
-        report.losses.append(stream.lost_count())
-        report.switch_totals_ms.append(timelines[0].total / 1_000_000)
-
-    return report
+    trials = build_same_subnet_trials(iterations, seed, probe_interval, config)
+    results = run_trials(trials, jobs=jobs, runner=runner)
+    return merge_same_subnet_trials(results, iterations, probe_interval)
 
 
 @dataclass
@@ -157,15 +192,15 @@ class ProbeSweepReport:
 
 def run_probe_interval_sweep(intervals_ms=(2, 5, 10, 20),
                              iterations: int = 10, seed: int = 211,
-                             config: Config = DEFAULT_CONFIG
-                             ) -> ProbeSweepReport:
+                             config: Config = DEFAULT_CONFIG,
+                             jobs: int = 1) -> ProbeSweepReport:
     """Run the same-subnet switch at several probe densities."""
     report = ProbeSweepReport(iterations_per_point=iterations)
     for index, interval_ms in enumerate(intervals_ms):
         sub = run_same_subnet_experiment(iterations=iterations,
                                          seed=seed + index * 100,
                                          probe_interval=ms(interval_ms),
-                                         config=config)
+                                         config=config, jobs=jobs)
         mean_loss = sum(sub.losses) / len(sub.losses)
         report.points.append((float(interval_ms), mean_loss))
     return report

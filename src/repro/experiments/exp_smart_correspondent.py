@@ -20,10 +20,12 @@ traffic falls back to the basic protocol without loss.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.config import Config, DEFAULT_CONFIG
 from repro.core.smart_correspondent import SmartCorrespondent
 from repro.experiments.harness import Stats, format_table, summarize_ms
+from repro.parallel import ParallelRunner, Trial, run_trials
 from repro.sim.engine import Simulator
 from repro.sim.units import ms, s
 from repro.testbed import build_testbed
@@ -84,7 +86,7 @@ def _measure(seed: int, config: Config, smart: bool,
     stream.stop()
     sim.run_for(s(1))
     assert optimizer is None or optimizer.packets_optimized > 0
-    return (summarize_ms(stream.rtts()),
+    return (list(stream.rtts()),
             testbed.home_agent.vif.packets_encapsulated)
 
 
@@ -114,18 +116,57 @@ def _fallback_lossless(seed: int, config: Config) -> bool:
             and stream.lost_count() == 0)
 
 
+def run_smart_measure_trial(smart: bool, probes: int, seed: int,
+                            config: Config = DEFAULT_CONFIG) -> dict:
+    """Plain or smart correspondent measurement as a pure trial."""
+    rtts, ha_packets = _measure(seed, config, smart=smart, probes=probes)
+    return {"rtts_ns": rtts, "ha_packets": ha_packets}
+
+
+def run_smart_fallback_trial(seed: int,
+                             config: Config = DEFAULT_CONFIG) -> dict:
+    """The cache-expiry fallback check as a pure trial."""
+    return {"lossless": _fallback_lossless(seed, config)}
+
+
+def build_smart_correspondent_trials(probes: int, seed: int,
+                                     config: Config) -> List[Trial]:
+    """Three independent trials: plain, smart, fallback."""
+    measure = ("repro.experiments.exp_smart_correspondent:"
+               "run_smart_measure_trial")
+    return [
+        Trial(measure, dict(smart=False, probes=probes, seed=seed,
+                            config=config)),
+        Trial(measure, dict(smart=True, probes=probes, seed=seed + 1,
+                            config=config)),
+        Trial("repro.experiments.exp_smart_correspondent:"
+              "run_smart_fallback_trial",
+              dict(seed=seed + 2, config=config)),
+    ]
+
+
+def merge_smart_correspondent_trials(results: List[dict],
+                                     probes: int) -> SmartCorrespondentReport:
+    """Assemble the (plain, smart, fallback) triple into the report."""
+    plain, smart, fallback = results
+    return SmartCorrespondentReport(
+        probes=probes,
+        rtt_plain=summarize_ms(plain["rtts_ns"]),
+        rtt_optimized=summarize_ms(smart["rtts_ns"]),
+        ha_packets_plain=plain["ha_packets"],
+        ha_packets_optimized=smart["ha_packets"],
+        fallback_lossless=fallback["lossless"])
+
+
 def run_smart_correspondent_experiment(probes: int = 30, seed: int = 67,
-                                       config: Config = DEFAULT_CONFIG
+                                       config: Config = DEFAULT_CONFIG,
+                                       jobs: int = 1,
+                                       runner: Optional[ParallelRunner] = None
                                        ) -> SmartCorrespondentReport:
-    rtt_plain, ha_plain = _measure(seed, config, smart=False, probes=probes)
-    rtt_smart, ha_smart = _measure(seed + 1, config, smart=True,
-                                   probes=probes)
-    lossless = _fallback_lossless(seed + 2, config)
-    return SmartCorrespondentReport(probes=probes, rtt_plain=rtt_plain,
-                                    rtt_optimized=rtt_smart,
-                                    ha_packets_plain=ha_plain,
-                                    ha_packets_optimized=ha_smart,
-                                    fallback_lossless=lossless)
+    """Compare plain vs smart correspondents (three parallel trials)."""
+    trials = build_smart_correspondent_trials(probes, seed, config)
+    results = run_trials(trials, jobs=jobs, runner=runner)
+    return merge_smart_correspondent_trials(results, probes)
 
 
 if __name__ == "__main__":  # pragma: no cover

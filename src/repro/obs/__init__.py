@@ -8,8 +8,11 @@ exporters for machines (JSONL, flat snapshot) and humans
 """
 
 from repro.obs.capture import (
+    CapturedMetrics,
+    capture_active,
     capture_policy_tables,
     capture_simulators,
+    note_metrics_registry,
     note_policy_table,
     note_simulator,
 )
@@ -36,8 +39,11 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "DEFAULT_LATENCY_BUCKETS_MS",
+    "CapturedMetrics",
+    "capture_active",
     "capture_simulators",
     "capture_policy_tables",
+    "note_metrics_registry",
     "note_simulator",
     "note_policy_table",
     "format_report",

@@ -45,6 +45,35 @@ def note_policy_table(table) -> None:
             bucket.append(table)
 
 
+def capture_active() -> bool:
+    """True while at least one :func:`capture_simulators` block is open."""
+    return bool(_active)
+
+
+class CapturedMetrics:
+    """A stand-in for a Simulator that only carries a metrics registry.
+
+    Worker processes cannot append their simulators to the parent's
+    capture buckets, so the parallel runner ships each worker's merged
+    :class:`~repro.obs.metrics.MetricsRegistry` home and wraps it in one
+    of these; consumers that iterate a capture bucket reading
+    ``.metrics`` (the ``--metrics`` report path) see no difference.
+    """
+
+    __slots__ = ("metrics",)
+
+    def __init__(self, metrics) -> None:
+        self.metrics = metrics
+
+
+def note_metrics_registry(registry) -> None:
+    """Feed a worker-produced registry into every active capture."""
+    if _active:
+        carrier = CapturedMetrics(registry)
+        for bucket in _active:
+            bucket.append(carrier)
+
+
 @contextlib.contextmanager
 def capture_simulators() -> Iterator[List]:
     """Collect every Simulator constructed while the ``with`` body runs."""

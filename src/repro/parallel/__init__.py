@@ -1,0 +1,50 @@
+"""Sharded parallel experiment execution.
+
+The experiment harnesses decompose into *trials*: pure, seed-addressed
+units of work (``(params, seed) -> plain-data result``) that build their
+own :class:`~repro.sim.engine.Simulator` and never share state.  This
+package runs lists of such trials either in-process (``jobs=1``) or
+across a ``multiprocessing`` worker pool (``jobs=N``), and guarantees
+the two paths produce identical results:
+
+* **Seeds are addressed by trial index, never by worker.**  A trial's
+  seed is a pure function of the experiment's base seed and the trial's
+  position (:mod:`repro.parallel.seeds`), so adding workers reassigns
+  *where* a trial runs but never *what* it computes.
+* **Results merge in trial order.**  The pool preserves submission
+  order, so the merge/summarize step sees the same sequence whether one
+  process ran everything or eight processes raced.
+* **Spawn-safe.**  Trials are referenced by ``"module:function"`` path
+  and carry picklable params, so the pool works under the ``spawn``
+  start method (macOS/Windows default) as well as ``fork``.
+* **Graceful degradation.**  ``jobs=1``, a single trial, or a platform
+  without working ``multiprocessing`` all fall back to the in-process
+  loop — same results, no pool.
+
+See ``docs/PERFORMANCE.md`` ("Parallel execution") for the user-facing
+flags and the determinism contract.
+"""
+
+from repro.parallel.runner import (
+    ParallelRunner,
+    Trial,
+    resolve_trial,
+    run_trials,
+)
+from repro.parallel.seeds import (
+    balanced_shards,
+    shard_slices,
+    spawn_seed,
+    trial_seeds,
+)
+
+__all__ = [
+    "ParallelRunner",
+    "Trial",
+    "resolve_trial",
+    "run_trials",
+    "spawn_seed",
+    "trial_seeds",
+    "shard_slices",
+    "balanced_shards",
+]

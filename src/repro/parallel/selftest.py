@@ -1,0 +1,39 @@
+"""Tiny module-level trial functions for exercising the worker pool.
+
+The pool references trials by ``"module:function"`` path, so its tests
+need real importable functions — cheap ones, importable in spawn-started
+children too.  They double as minimal examples of the trial contract:
+picklable params in, plain data out, any simulators built inside show up
+in metrics captures.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.seeds import spawn_seed
+from repro.sim.engine import Simulator
+from repro.sim.units import ms
+
+
+def echo_trial(value) -> dict:
+    """The identity trial: returns its (picklable) input."""
+    return {"value": value}
+
+
+def seeded_sim_trial(seed: int, timers: int = 8) -> dict:
+    """Builds a tiny simulation: *timers* callbacks, one counter metric.
+
+    Deterministic in *seed* via :func:`spawn_seed`, so tests can check
+    that results depend only on params, never on which worker ran them.
+    """
+    sim = Simulator(seed=seed)
+    counter = sim.metrics.counter("selftest", "fired")
+    for index in range(timers):
+        sim.call_at(ms(index + 1), counter.inc, label="selftest")
+    sim.run()
+    return {"seed": seed, "fired": counter.value,
+            "derived": spawn_seed(seed, timers)}
+
+
+def failing_trial(message: str = "boom") -> dict:
+    """Raises; lets tests assert worker exceptions surface in the parent."""
+    raise RuntimeError(message)

@@ -1,13 +1,23 @@
 """Unit tests for the experiments command-line runner."""
 
-import pytest
-
 from repro.experiments.__main__ import RUNNERS, main
 
 
 def test_unknown_experiment_id_is_an_error(capsys):
     assert main(["nope"]) == 2
-    assert "unknown experiment ids" in capsys.readouterr().err
+    err = capsys.readouterr().err
+    assert "unknown experiment ids" in err
+    # The error names every known id so the user can self-correct.
+    for known in RUNNERS:
+        assert known in err
+
+
+def test_unknown_id_is_not_silently_skipped(capsys):
+    # A mix of known and unknown ids must fail before running anything.
+    assert main(["f7", "bogus"]) == 2
+    captured = capsys.readouterr()
+    assert "bogus" in captured.err
+    assert "Registration time-line" not in captured.out
 
 
 def test_single_experiment_runs_and_prints(capsys):
@@ -21,8 +31,27 @@ def test_ids_are_case_insensitive(capsys):
     assert main(["F7"]) == 0
 
 
+def test_jobs_flag_accepts_worker_count(capsys):
+    assert main(["--jobs", "2", "f7"]) == 0
+    assert "Registration time-line" in capsys.readouterr().out
+
+
+def test_negative_jobs_is_an_error(capsys):
+    assert main(["--jobs", "-1", "f7"]) == 2
+    assert "--jobs" in capsys.readouterr().err
+
+
+def test_jobs_output_matches_serial(capsys):
+    assert main(["f7"]) == 0
+    serial = capsys.readouterr().out
+    assert main(["--jobs", "2", "f7"]) == 0
+    parallel = capsys.readouterr().out
+    assert serial == parallel
+
+
 def test_runner_table_covers_all_documented_ids():
-    assert set(RUNNERS) == {"e1", "f6", "f7", "f3", "a1", "x1", "x2", "x3"}
+    assert set(RUNNERS) == {"e1", "f6", "f7", "f3", "a1",
+                            "x1", "x2", "x3", "x4"}
     for name, (title, runner) in RUNNERS.items():
         assert callable(runner)
         assert title

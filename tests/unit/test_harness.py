@@ -4,9 +4,11 @@ import pytest
 
 from repro.experiments.harness import (
     Stats,
+    Welford,
     format_histogram,
     format_table,
     histogram,
+    merge_stats,
     spread_phases,
     summarize,
     summarize_ms,
@@ -41,6 +43,70 @@ class TestSummarize:
         stats = Stats(count=10, mean=7.392, std=0.181, minimum=7.0,
                       maximum=7.8)
         assert stats.format_ms() == "7.39 (0.18)"
+
+
+class TestWelford:
+    def test_matches_two_pass_formula(self):
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        stats = Welford().add_many(values).finalize()
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert stats.mean == pytest.approx(mean)
+        assert stats.std == pytest.approx(variance ** 0.5)
+        assert stats.minimum == 2.0 and stats.maximum == 9.0
+
+    def test_empty_finalizes_to_zero_stats(self):
+        stats = Welford().finalize()
+        assert stats == Stats(count=0, mean=0.0, std=0.0,
+                              minimum=0.0, maximum=0.0)
+
+    def test_merge_equals_single_accumulator(self):
+        left_values = [1.0, 2.0, 3.5, 10.0]
+        right_values = [-4.0, 7.25, 0.5]
+        merged = Welford().add_many(left_values).merge(
+            Welford().add_many(right_values)).finalize()
+        combined = Welford().add_many(left_values + right_values).finalize()
+        assert merged.count == combined.count
+        assert merged.mean == pytest.approx(combined.mean)
+        assert merged.std == pytest.approx(combined.std)
+        assert merged.minimum == combined.minimum
+        assert merged.maximum == combined.maximum
+
+    def test_merge_with_empty_sides(self):
+        values = [3.0, 4.0]
+        assert Welford().merge(
+            Welford().add_many(values)).finalize().count == 2
+        assert Welford().add_many(values).merge(
+            Welford()).finalize().count == 2
+
+    def test_merge_stats_recovers_partial(self):
+        shard = summarize([5.0, 6.0, 9.0])
+        merged = Welford().add_many([1.0, 2.0]).merge_stats(shard).finalize()
+        direct = summarize([1.0, 2.0, 5.0, 6.0, 9.0])
+        assert merged.mean == pytest.approx(direct.mean)
+        assert merged.std == pytest.approx(direct.std)
+        assert merged.count == 5
+
+
+class TestMergeStats:
+    def test_merges_shard_summaries(self):
+        shards = [[2.0, 4.0, 4.0], [4.0, 5.0], [5.0, 7.0, 9.0]]
+        merged = merge_stats([summarize(shard) for shard in shards])
+        direct = summarize([v for shard in shards for v in shard])
+        assert merged.count == direct.count == 8
+        assert merged.mean == pytest.approx(direct.mean)
+        assert merged.std == pytest.approx(direct.std)
+        assert merged.minimum == direct.minimum
+        assert merged.maximum == direct.maximum
+
+    def test_single_part_is_returned_unchanged(self):
+        part = summarize([1.5, 2.5, 8.0])
+        assert merge_stats([part]) is part
+
+    def test_empty_parts_are_skipped(self):
+        part = summarize([3.0])
+        assert merge_stats([summarize([]), part, summarize([])]) is part
+        assert merge_stats([]).count == 0
 
 
 class TestHistogram:

@@ -1,0 +1,154 @@
+"""Unit tests for the parallel trial runner and seed partitioning."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, capture_simulators
+from repro.obs.capture import CapturedMetrics, capture_active, note_metrics_registry
+from repro.parallel import (
+    ParallelRunner,
+    Trial,
+    balanced_shards,
+    resolve_trial,
+    run_trials,
+    shard_slices,
+    spawn_seed,
+    trial_seeds,
+)
+from repro.parallel.runner import effective_jobs
+from repro.parallel.seeds import partition
+
+ECHO = "repro.parallel.selftest:echo_trial"
+SIM = "repro.parallel.selftest:seeded_sim_trial"
+FAIL = "repro.parallel.selftest:failing_trial"
+
+
+class TestSeeds:
+    def test_spawn_seed_is_deterministic(self):
+        assert spawn_seed(83, 2, 5) == spawn_seed(83, 2, 5)
+
+    def test_spawn_seed_separates_paths(self):
+        seeds = {spawn_seed(0, fleet, shard)
+                 for fleet in range(8) for shard in range(8)}
+        assert len(seeds) == 64  # no collisions on a small grid
+        assert spawn_seed(0, 1, 2) != spawn_seed(0, 2, 1)  # order matters
+
+    def test_spawn_seed_is_non_negative(self):
+        assert all(spawn_seed(seed, index) >= 0
+                   for seed in (0, 1, 2**63) for index in range(4))
+
+    def test_trial_seeds_match_legacy_arithmetic(self):
+        assert trial_seeds(11, 4) == [11, 12, 13, 14]
+        assert trial_seeds(23, 3, stride=131) == [23, 154, 285]
+        assert trial_seeds(5, 0) == []
+        with pytest.raises(ValueError):
+            trial_seeds(5, -1)
+
+    def test_shard_slices_cover_in_order(self):
+        items = list(range(10))
+        pieces = shard_slices(len(items), 3)
+        assert [len(items[piece]) for piece in pieces] == [4, 3, 3]
+        assert [value for piece in pieces for value in items[piece]] == items
+
+    def test_shard_slices_more_shards_than_items(self):
+        assert len(shard_slices(2, 8)) == 2
+        with pytest.raises(ValueError):
+            shard_slices(4, 0)
+
+    def test_balanced_shards_respect_capacity(self):
+        assert balanced_shards(250, 100) == [84, 83, 83]
+        assert balanced_shards(100, 100) == [100]
+        assert balanced_shards(0, 100) == []
+        assert sum(balanced_shards(1000, 100)) == 1000
+        with pytest.raises(ValueError):
+            balanced_shards(10, 0)
+
+    def test_partition_materializes_slices(self):
+        assert partition([1, 2, 3, 4, 5], 2) == [[1, 2, 3], [4, 5]]
+
+
+class TestResolveTrial:
+    def test_resolves_module_function(self):
+        func = resolve_trial(ECHO)
+        assert func(value=7) == {"value": 7}
+
+    @pytest.mark.parametrize("ref", [
+        "no-colon", ":func", "module:", "repro.parallel.selftest:missing",
+        "repro.parallel.selftest:ECHO_DOC",
+    ])
+    def test_rejects_bad_references(self, ref):
+        with pytest.raises((ValueError, ModuleNotFoundError)):
+            resolve_trial(ref)
+
+
+class TestEffectiveJobs:
+    def test_zero_and_none_mean_cpu_count(self):
+        assert effective_jobs(0) >= 1
+        assert effective_jobs(None) >= 1
+
+    def test_positive_passthrough_and_negative_rejected(self):
+        assert effective_jobs(3) == 3
+        with pytest.raises(ValueError):
+            effective_jobs(-2)
+
+
+class TestRunner:
+    def trials(self, count=6):
+        return [Trial(SIM, dict(seed=seed, timers=4))
+                for seed in trial_seeds(17, count)]
+
+    def test_serial_matches_direct_calls(self):
+        results = run_trials(self.trials(), jobs=1)
+        func = resolve_trial(SIM)
+        assert results == [func(seed=seed, timers=4)
+                           for seed in trial_seeds(17, 6)]
+
+    def test_parallel_matches_serial_in_order(self):
+        serial = run_trials(self.trials(), jobs=1)
+        parallel = run_trials(self.trials(), jobs=2)
+        assert parallel == serial
+
+    def test_spawn_start_method_is_safe(self):
+        # The contract: trials are importable + picklable, so the pool
+        # works under spawn (the macOS/Windows default), not just fork.
+        runner = ParallelRunner(jobs=2, start_method="spawn")
+        assert runner.run(self.trials(count=2)) == \
+            run_trials(self.trials(count=2), jobs=1)
+
+    def test_single_trial_stays_in_process(self):
+        assert run_trials([Trial(ECHO, dict(value="x"))], jobs=8) \
+            == [{"value": "x"}]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(RuntimeError, match="kaput"):
+            run_trials([Trial(FAIL, dict(message="kaput"))] * 3, jobs=2)
+
+    def test_pool_failure_degrades_to_serial(self):
+        runner = ParallelRunner(jobs=4, start_method="definitely-not-a-method")
+        with pytest.warns(RuntimeWarning, match="multiprocessing unavailable"):
+            results = runner.run(self.trials())
+        assert results == run_trials(self.trials(), jobs=1)
+
+
+class TestMetricsCollection:
+    def test_serial_capture_sees_simulators_directly(self):
+        with capture_simulators() as captured:
+            run_trials(self.trials(), jobs=1)
+        registry = MetricsRegistry.merged(sim.metrics for sim in captured)
+        counter = registry.get("selftest", "fired")
+        assert counter is not None and counter.value == 3 * 4
+
+    def test_parallel_capture_merges_worker_registries(self):
+        with capture_simulators() as captured:
+            run_trials(self.trials(), jobs=2)
+        assert captured and all(isinstance(item, CapturedMetrics)
+                                for item in captured)
+        registry = MetricsRegistry.merged(item.metrics for item in captured)
+        assert registry.get("selftest", "fired").value == 3 * 4
+
+    def test_note_metrics_registry_without_capture_is_noop(self):
+        assert not capture_active()
+        note_metrics_registry(MetricsRegistry())  # must not raise
+
+    def trials(self):
+        return [Trial(SIM, dict(seed=seed, timers=4))
+                for seed in trial_seeds(29, 3)]
