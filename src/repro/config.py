@@ -98,6 +98,21 @@ class RegistrationTimings:
     max_transmissions: int
     #: Default binding lifetime requested by the MH, ns.
     default_lifetime: int
+    #: Growth factor applied to the retransmit interval after each
+    #: unanswered transmission (RFC 2002-style exponential backoff).
+    #: The *first* retransmission always waits exactly
+    #: ``retransmit_interval``; 1.0 restores the legacy fixed cadence.
+    backoff_multiplier: float = 2.0
+    #: Ceiling on the backed-off retransmit interval, ns.
+    backoff_cap: int = ms(8000)
+    #: Fractional deterministic jitter (uniform +/-) on backed-off
+    #: intervals, drawn from a dedicated RNG stream.  0.0 = no jitter and
+    #: no RNG consumption, keeping legacy runs byte-identical.
+    backoff_jitter: float = 0.0
+    #: Fraction of the granted binding lifetime after which the mobile
+    #: host proactively re-registers (0.0 disables renewal; 0.5 renews at
+    #: half-life like DHCP).
+    renewal_fraction: float = 0.0
 
 
 @dataclass(frozen=True)

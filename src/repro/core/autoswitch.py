@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING, Callable, List, Optional
 from repro.core.handoff import DeviceSwitcher, SwitchTimeline
 from repro.core.notify import profile_of
 from repro.net.addressing import IPAddress, Subnet
+from repro.sim.engine import Event
 from repro.sim.units import ms
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -115,9 +116,10 @@ class ConnectivityManager:
         self.switcher = DeviceSwitcher(mobile)
         self.running = False
         self.switches_performed = 0
+        self.failed_switches = 0
         self.on_switch: Optional[Callable[[SwitchTimeline], None]] = None
         self._switching = False
-        self._tick_event = None
+        self._tick_event: Optional[Event] = None
 
     # ------------------------------------------------------------ provisioning
 
@@ -146,7 +148,7 @@ class ConnectivityManager:
         """Halt probing (the current attachment is left as-is)."""
         self.running = False
         if self._tick_event is not None:
-            self._tick_event.cancel()  # type: ignore[attr-defined]
+            self._tick_event.cancel()
             self._tick_event = None
 
     # ------------------------------------------------------------------ probing
@@ -226,13 +228,33 @@ class ConnectivityManager:
             return
         self._switch_to(best)
 
+    def _demote(self, option: AttachmentOption) -> None:
+        """Strip an option's eligibility after a failed switch or flap.
+
+        It must re-earn ``up_threshold`` consecutive probe successes, so
+        a recovered network promotes itself back without operator help.
+        """
+        option.eligible = False
+        option.consecutive_successes = 0
+        self.sim.trace.emit("connmgr", "demoted", option=option.name)
+
     def _switch_to(self, option: AttachmentOption) -> None:
+        if not option.interface.is_up:
+            # The candidate died (e.g. an injected flap) between becoming
+            # eligible and our decision; demote it and fall back to the
+            # next preference instead of crashing the hot switch.
+            self._demote(option)
+            self._reconsider()
+            return
         self._switching = True
         self.sim.trace.emit("connmgr", "switching", option=option.name)
 
         def done(timeline: SwitchTimeline) -> None:
             self._switching = False
             self.switches_performed += 1
+            if not timeline.success:
+                self.failed_switches += 1
+                self._demote(option)
             self.sim.trace.emit("connmgr", "switched", option=option.name,
                                 success=timeline.success,
                                 total_ms=timeline.total / 1_000_000)

@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.net.addressing import IPAddress
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 
 
 @dataclass
@@ -48,7 +48,7 @@ class MobilityBindingTable:
                  on_expire: Optional[Callable[[MobilityBinding], None]] = None) -> None:
         self._sim = sim
         self._bindings: Dict[IPAddress, MobilityBinding] = {}
-        self._expiry_events: Dict[IPAddress, object] = {}
+        self._expiry_events: Dict[IPAddress, Event] = {}
         self.on_expire = on_expire
 
     def __len__(self) -> int:
@@ -94,6 +94,20 @@ class MobilityBindingTable:
         self._cancel_expiry(home_address)
         return self._bindings.pop(home_address, None)
 
+    def clear(self) -> List[MobilityBinding]:
+        """Drop every binding and expiry timer (home-agent state loss).
+
+        Returns the dropped bindings so the caller can tear down the
+        per-binding intercept state they backed.  ``on_expire`` does *not*
+        fire: this is amnesia, not lifetime expiry.
+        """
+        for event in self._expiry_events.values():
+            event.cancel()
+        self._expiry_events.clear()
+        dropped = list(self._bindings.values())
+        self._bindings.clear()
+        return dropped
+
     def _expire(self, home_address: IPAddress) -> None:
         binding = self._bindings.get(home_address)
         if binding is None or binding.is_active(self._sim.now):
@@ -109,4 +123,4 @@ class MobilityBindingTable:
     def _cancel_expiry(self, home_address: IPAddress) -> None:
         event = self._expiry_events.pop(home_address, None)
         if event is not None:
-            event.cancel()  # type: ignore[attr-defined]
+            event.cancel()

@@ -25,7 +25,7 @@ build it either way.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Set, Tuple
 
 from repro.core.bindings import MobilityBinding, MobilityBindingTable
 from repro.core.registration import (
@@ -65,6 +65,11 @@ class HomeAgentService:
         #: Optional registration authentication (Section 5.1's ask); when
         #: set, provisioned mobile hosts must present valid MACs.
         self.authenticator = None
+        #: Fault-injection hook: return False to drop an outgoing reply
+        #: (simulating a lost registration reply).
+        self.reply_filter: Optional[Callable[[RegistrationReply], bool]] = None
+        #: True while the agent is crashed: requests fall on the floor.
+        self._down = False
         self._intercept_routes: Dict[IPAddress, RouteEntry] = {}
         self._rng = host.sim.rng(f"home-agent:{host.name}")
         # Registrations are processed one at a time (one CPU): a burst of
@@ -79,6 +84,9 @@ class HomeAgentService:
         self.registrations_accepted = 0
         self.deregistrations = 0
         self.requests_denied = 0
+        self.restarts = 0
+        self.bindings_expired = 0
+        self.replies_dropped = 0
         metrics = host.sim.metrics
         self._received_counter = metrics.counter(
             "home_agent", "requests_received", host=host.name)
@@ -88,6 +96,8 @@ class HomeAgentService:
             "home_agent", "deregistrations", host=host.name)
         self._denied_counter = metrics.counter(
             "home_agent", "requests_denied", host=host.name)
+        self._expired_counter = metrics.counter(
+            "home_agent", "bindings_expired", host=host.name)
 
     # -------------------------------------------------------------- provision
 
@@ -116,6 +126,11 @@ class HomeAgentService:
                      dst: IPAddress) -> None:
         request = data.content
         if not isinstance(request, RegistrationRequest):
+            return
+        if self._down:
+            self.sim.trace.emit("registration", "ha_down_drop",
+                                host=self.host.name,
+                                ident=request.identification)
             return
         self.requests_received += 1
         self._received_counter.value += 1
@@ -150,6 +165,16 @@ class HomeAgentService:
                              self.config.jitter)
 
         def transmit_reply() -> None:
+            if self.reply_filter is not None and not self.reply_filter(reply):
+                self.replies_dropped += 1
+                # Created lazily so fault-free runs keep an unchanged
+                # metrics snapshot.
+                self.sim.metrics.counter("home_agent", "replies_dropped",
+                                         host=self.host.name).value += 1
+                self.sim.trace.emit("registration", "ha_reply_dropped",
+                                    host=self.host.name,
+                                    ident=request.identification)
+                return
             # Timestamped here so the trace delta matches the paper's
             # "time between the home agent receiving the registration
             # request and sending out its reply" (1.48 ms in Figure 7).
@@ -214,6 +239,42 @@ class HomeAgentService:
 
     def _binding_expired(self, binding: MobilityBinding) -> None:
         self._remove_intercept(binding.home_address)
+        self.bindings_expired += 1
+        self._expired_counter.value += 1
+
+    # ------------------------------------------------------------------ faults
+
+    def crash(self, down_for: int,
+              on_recovered: Optional[Callable[[], None]] = None) -> None:
+        """Restart the agent with state loss (the fault injector's hook).
+
+        All mobility bindings, proxy-ARP entries and intercept routes are
+        forgotten — exactly what a reboot of the paper's Pentium 90 home
+        agent would do — and requests are ignored until recovery.  Mobile
+        hosts win their service back only by re-registering, which is what
+        lifetime-expiry renewal exists for.
+        """
+        if self._down:
+            return
+        self._down = True
+        self.restarts += 1
+        self.sim.trace.emit("home_agent", "crash", host=self.host.name,
+                            bindings_lost=len(self.bindings))
+        for binding in self.bindings.clear():
+            self._remove_intercept(binding.home_address)
+
+        def recover() -> None:
+            self._down = False
+            self.sim.trace.emit("home_agent", "recovered", host=self.host.name)
+            if on_recovered is not None:
+                on_recovered()
+
+        self.sim.call_later(down_for, recover, label="ha-recover")
+
+    @property
+    def is_down(self) -> bool:
+        """True while crashed (requests are being dropped)."""
+        return self._down
 
     # ---------------------------------------------------------------- tunneling
 

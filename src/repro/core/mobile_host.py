@@ -39,7 +39,7 @@ from repro.net.host import Host
 from repro.net.interface import EthernetInterface, NetworkInterface
 from repro.net.packet import IPPacket
 from repro.net.routing import RouteEntry, RouteResult
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 from repro.sim.units import ms
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -100,6 +100,10 @@ class MobileHost(Host):
         #: The Section 6 notification API: applications subscribe here to
         #: hear about attachment and quality changes.
         self.notifier = NetworkChangeNotifier(sim)
+        #: Pending lifetime-expiry renewal (armed only when
+        #: ``config.registration.renewal_fraction`` > 0).
+        self._renewal_event: Optional[Event] = None
+        self.renewals_sent = 0
 
     # ------------------------------------------------------------- inspection
 
@@ -141,6 +145,7 @@ class MobileHost(Host):
         self.care_of = None
         self.active_interface = iface
         self.foreign_agent = None
+        self._cancel_renewal()
         self.policy.invalidate_cache()
         self.notifier.attachment_changed(profile_of(iface))
 
@@ -244,6 +249,7 @@ class MobileHost(Host):
         self.ip.routes.remove_matching(interface=iface)
         if self.active_interface is iface:
             self.active_interface = None
+            self._cancel_renewal()
 
     # ------------------------------------------------------------ registration
 
@@ -259,9 +265,16 @@ class MobileHost(Host):
         """
         if self.care_of is None or self.active_interface is None:
             raise ValueError(f"{self.name} has no care-of address to register")
+
+        def done(outcome: RegistrationOutcome) -> None:
+            if outcome.accepted and outcome.reply is not None:
+                self._schedule_renewal(outcome.reply.lifetime)
+            if on_registered is not None:
+                on_registered(outcome)
+
         self.registration.register(
             self.care_of,
-            on_done=on_registered if on_registered is not None else _ignore_outcome,
+            on_done=done,
             on_fail=on_failed,
             lifetime=lifetime,
             via=self.active_interface,
@@ -271,6 +284,51 @@ class MobileHost(Host):
                 self.care_of, on_done=_ignore_outcome, lifetime=lifetime,
                 via=self.active_interface, destination=correspondent,
             )
+
+    def _schedule_renewal(self, granted_lifetime: int) -> None:
+        """Arm re-registration before the binding's lifetime lapses.
+
+        Without this, a binding that outlives ``default_lifetime`` simply
+        expires at the home agent and the mobile host silently loses
+        service (Section 3.1's lifetime is a lease, and leases renew).
+        Disabled when ``renewal_fraction`` is 0 to keep legacy runs
+        untouched.
+        """
+        fraction = self.config.registration.renewal_fraction
+        self._cancel_renewal()
+        if fraction <= 0.0 or granted_lifetime <= 0:
+            return
+        delay = max(1, int(granted_lifetime * fraction))
+        self._renewal_event = self.sim.call_later(delay, self._renew_registration,
+                                                  label="reg-renewal")
+
+    def _cancel_renewal(self) -> None:
+        if self._renewal_event is not None:
+            self._renewal_event.cancel()
+            self._renewal_event = None
+
+    def _renew_registration(self) -> None:
+        self._renewal_event = None
+        if self.at_home or self.care_of is None or self.active_interface is None:
+            return
+        self.renewals_sent += 1
+        self.sim.trace.emit("registration", "renewal", host=self.name,
+                            care_of=str(self.care_of))
+        self.register_current(on_failed=self._renewal_gave_up)
+
+    def _renewal_gave_up(self) -> None:
+        """A renewal exhausted its retransmissions; keep trying.
+
+        The home agent may be mid-reboot — service comes back only through
+        a later successful re-registration, so the renewal loop must not
+        die with a single spent request.
+        """
+        if self.at_home or self.care_of is None:
+            return
+        self._cancel_renewal()
+        self._renewal_event = self.sim.call_later(
+            self.config.registration.backoff_cap, self._renew_registration,
+            label="reg-renewal-retry")
 
     def add_smart_correspondent(self, address: IPAddress) -> None:
         """Start sending binding updates to a mobile-aware correspondent."""

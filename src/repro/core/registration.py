@@ -26,6 +26,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from repro.net.addressing import IPAddress
 from repro.net.packet import AppData
+from repro.sim.engine import Event
 from repro.sim.randomness import jittered
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -115,7 +116,9 @@ class _PendingRegistration:
     on_fail: Callable[[], None]
     sent_at: int
     transmissions: int
-    retry_event: object
+    retry_event: Optional[Event]
+    via: Optional["NetworkInterface"] = None
+    destination: Optional[IPAddress] = None
 
 
 class RegistrationClient:
@@ -133,7 +136,14 @@ class RegistrationClient:
         self.home_address = home_address
         self.home_agent = home_agent
         self._rng = self.sim.rng(f"reg-client:{host.name}")
+        # Backoff jitter draws from its own stream so enabling it never
+        # perturbs the marshal/send cost sequence above.
+        self._backoff_rng = self.sim.rng(f"reg-backoff:{host.name}")
         self._pending: Dict[int, _PendingRegistration] = {}
+        #: Terminal-failure hook: fires (in addition to the per-request
+        #: ``on_fail``) when a request exhausts ``max_transmissions``.
+        #: Recovery layers use it to trigger a fresh registration attempt.
+        self.on_give_up: Optional[Callable[[RegistrationRequest, int], None]] = None
         # The socket binds to the unspecified address: requests are sent
         # ``via`` a physical interface and carry its (care-of) address as
         # source, so the home agent's reply comes straight back without
@@ -213,7 +223,8 @@ class RegistrationClient:
         timings = self.config.registration
         pending = _PendingRegistration(request=request, on_done=on_done,
                                        on_fail=on_fail, sent_at=self.sim.now,
-                                       transmissions=0, retry_event=None)
+                                       transmissions=0, retry_event=None,
+                                       via=via, destination=destination)
         self._pending[request.identification] = pending
         self._attempts_counter.value += 1
         self.sim.trace.emit("registration", "request_start",
@@ -226,6 +237,24 @@ class RegistrationClient:
                             lambda: self._transmit(request.identification, via,
                                                    destination),
                             label="reg-marshal")
+
+    def _retry_delay(self, transmissions: int) -> int:
+        """Wait before the next transmission, after *transmissions* so far.
+
+        Capped exponential backoff: the first retransmission waits exactly
+        ``retransmit_interval`` (so clean runs are unchanged), each further
+        one multiplies by ``backoff_multiplier`` up to ``backoff_cap``.
+        """
+        timings = self.config.registration
+        delay = timings.retransmit_interval
+        for _ in range(max(0, transmissions - 1)):
+            if delay >= timings.backoff_cap:
+                break
+            delay = int(delay * timings.backoff_multiplier)
+        delay = min(delay, timings.backoff_cap)
+        if timings.backoff_jitter > 0.0:
+            delay = jittered(self._backoff_rng, delay, timings.backoff_jitter)
+        return max(1, delay)
 
     def _transmit(self, ident: int, via: Optional["NetworkInterface"],
                   destination: Optional[IPAddress]) -> None:
@@ -243,15 +272,16 @@ class RegistrationClient:
                             target=str(target))
         self._socket.sendto(pending.request.wrap(), target, REGISTRATION_PORT,
                             via=via)
+        delay = self._retry_delay(pending.transmissions)
         if pending.transmissions >= timings.max_transmissions:
             pending.retry_event = self.sim.call_later(
-                timings.retransmit_interval,
+                delay,
                 lambda: self._give_up(ident),
                 label="reg-giveup",
             )
         else:
             pending.retry_event = self.sim.call_later(
-                timings.retransmit_interval,
+                delay,
                 lambda: self._transmit(ident, via, destination),
                 label="reg-retry",
             )
@@ -264,6 +294,8 @@ class RegistrationClient:
         self.sim.trace.emit("registration", "failed", host=self.host.name,
                             ident=ident, attempts=pending.transmissions)
         pending.on_fail()
+        if self.on_give_up is not None:
+            self.on_give_up(pending.request, pending.transmissions)
 
     # --------------------------------------------------------------- receiving
 
@@ -276,7 +308,7 @@ class RegistrationClient:
         if pending is None:
             return  # duplicate or stale reply
         if pending.retry_event is not None:
-            pending.retry_event.cancel()  # type: ignore[attr-defined]
+            pending.retry_event.cancel()
         receive_cost = jittered(self._rng,
                                 self.config.registration.mh_receive_overhead,
                                 self.config.jitter)

@@ -20,6 +20,8 @@ Extension experiments (features the paper names but defers):
   mobile hosts simultaneously" claim, quantified (Section 4).
 * :mod:`repro.experiments.exp_autoswitch` — probe-cadence ablation for the
   automatic network selector (Section 6).
+* :mod:`repro.experiments.exp_chaos` — session survival under injected
+  faults (``repro.faults``): loss phases, flaps, home-agent restart.
 
 ``python -m repro.experiments`` runs everything and prints paper-style
 reports.
@@ -45,6 +47,10 @@ from repro.experiments.exp_same_subnet import (
 from repro.experiments.exp_autoswitch import (
     AutoswitchReport,
     run_autoswitch_experiment,
+)
+from repro.experiments.exp_chaos import (
+    ChaosReport,
+    run_chaos_experiment,
 )
 from repro.experiments.exp_ha_scalability import (
     HAFleetSweepReport,
@@ -76,4 +82,6 @@ __all__ = [
     "HAFleetSweepReport",
     "run_autoswitch_experiment",
     "AutoswitchReport",
+    "run_chaos_experiment",
+    "ChaosReport",
 ]

@@ -10,8 +10,9 @@ Usage::
 
 Experiment ids: ``e1`` (same-subnet switch), ``f6`` (device switching),
 ``f7`` (registration time-line), ``f3`` (routing options), ``a1``
-(foreign-agent ablation), ``x1``-``x4`` (extensions; ``x4`` is the
-sharded 100-1000-host home-agent fleet sweep).
+(foreign-agent ablation), ``x1``-``x5`` (extensions; ``x4`` is the
+sharded 100-1000-host home-agent fleet sweep, ``x5`` the fault-injection
+chaos sweep).
 
 ``--jobs N`` runs each experiment's independent trials across N worker
 processes; reports are byte-identical to ``--jobs 1`` (seeds are
@@ -40,6 +41,7 @@ from repro.obs import (
 )
 
 from repro.experiments.exp_autoswitch import run_autoswitch_experiment
+from repro.experiments.exp_chaos import run_chaos_experiment
 from repro.experiments.exp_device_switch import run_device_switch_experiment
 from repro.experiments.exp_fa_ablation import run_fa_ablation
 from repro.experiments.exp_ha_scalability import (
@@ -74,6 +76,8 @@ RUNNERS = {
            lambda jobs: run_autoswitch_experiment(jobs=jobs).format_report()),
     "x4": ("Home-agent fleet sweep: 100-1000 hosts, sharded (extension)",
            lambda jobs: run_ha_fleet_sweep(jobs=jobs).format_report()),
+    "x5": ("Chaos sweep: fault injection and recovery (extension)",
+           lambda jobs: run_chaos_experiment(jobs=jobs).format_report()),
 }
 
 

@@ -1,0 +1,33 @@
+"""Deterministic fault injection (``repro.faults``).
+
+Declarative :class:`FaultPlan` schedules — link loss bursts,
+Gilbert-Elliott loss phases, interface flaps, home-agent restarts with
+state loss, DHCP outages, registration-reply drops — armed against a
+live testbed by :class:`FaultInjector`.  Same seed + same plan injects
+the identical fault sequence, serially or sharded across workers; see
+``docs/ROBUSTNESS.md`` for the fault model and recovery semantics.
+"""
+
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import (
+    DhcpOutage,
+    FaultEvent,
+    FaultPlan,
+    GilbertElliottPhase,
+    HomeAgentRestart,
+    InterfaceFlap,
+    LossBurst,
+    ReplyDropWindow,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultEvent",
+    "LossBurst",
+    "GilbertElliottPhase",
+    "InterfaceFlap",
+    "HomeAgentRestart",
+    "DhcpOutage",
+    "ReplyDropWindow",
+]

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.net.addressing import BROADCAST_MAC, IPAddress, MACAddress
 from repro.net.packet import IPPacket
+from repro.sim.engine import Event
 
 if TYPE_CHECKING:  # pragma: no cover - circular import guard
     from repro.net.interface import EthernetInterface
@@ -64,7 +65,7 @@ class _CacheEntry:
 class _PendingResolution:
     packets: List[Tuple[IPPacket, Callable[[], None]]]
     attempts: int
-    retry_event: object
+    retry_event: Optional[Event]
 
 
 class ARPService:
@@ -203,7 +204,7 @@ class ARPService:
         if pending is None:
             return
         if pending.retry_event is not None:
-            pending.retry_event.cancel()  # type: ignore[attr-defined]
+            pending.retry_event.cancel()
         for packet, _drop_cb in pending.packets:
             self._iface.transmit_ip_frame(packet, mac)
 

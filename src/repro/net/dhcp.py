@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Callable, Deque, Dict, List, Optional
 
 from repro.net.addressing import IPAddress, LIMITED_BROADCAST, Subnet, UNSPECIFIED
 from repro.net.packet import AppData
+from repro.sim.engine import Event
 from repro.sim.units import ms
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -103,6 +104,10 @@ class DHCPServer:
         self._offers: Dict[int, IPAddress] = {}
         self._socket = host.udp.open(SERVER_PORT).on_datagram(self._on_datagram)
         self.requests_served = 0
+        #: Fault-injection hook: while False the server ignores all client
+        #: traffic (an outage), without forgetting its leases.
+        self.online = True
+        self.dropped_while_offline = 0
 
     # ------------------------------------------------------------- inspection
 
@@ -128,6 +133,11 @@ class DHCPServer:
                      dst: IPAddress) -> None:
         message = data.content
         if not isinstance(message, DHCPMessage):
+            return
+        if not self.online:
+            self.dropped_while_offline += 1
+            self.sim.trace.emit("dhcp", "server_offline_drop",
+                                server=self.host.name, op=message.op.value)
             return
         self._expire_stale()
         delay = self.config.dhcp_server_delay
@@ -295,8 +305,16 @@ class DHCPClient:
         self._socket = host.udp.open(CLIENT_PORT).on_datagram(self._on_datagram)
         self._on_bound: Optional[Callable[[BoundLease], None]] = None
         self._on_failed: Optional[Callable[[], None]] = None
-        self._timeout_event: Optional[object] = None
-        self._renew_event: Optional[object] = None
+        self._timeout_event: Optional[Event] = None
+        self._renew_event: Optional[Event] = None
+        #: The transaction timeout configured at acquire() time; renewals
+        #: honour it too instead of a hard-coded constant.
+        self._timeout: int = ms(4000)
+        self._lease_expires_at: Optional[int] = None
+        self.renew_failures = 0
+        #: Fires when the lease lapses without a successful renewal (the
+        #: handoff/recovery layer re-acquires or switches networks).
+        self.on_lease_lost: Optional[Callable[[], None]] = None
 
     def acquire(self, on_bound: Callable[[BoundLease], None],
                 on_failed: Optional[Callable[[], None]] = None,
@@ -307,6 +325,7 @@ class DHCPClient:
         self._xid = next(self._xids)
         self._on_bound = on_bound
         self._on_failed = on_failed
+        self._timeout = timeout
         self.state = DHCPClientState.SELECTING
         self._timeout_event = self.sim.call_later(timeout, self._fail,
                                                   label="dhcp-timeout")
@@ -329,7 +348,9 @@ class DHCPClient:
         else:
             self._broadcast(message)
         self._cancel_renewal()
+        self._cancel_timeout()
         self.lease = None
+        self._lease_expires_at = None
         self.state = DHCPClientState.IDLE
 
     # ----------------------------------------------------------------- guts
@@ -356,7 +377,13 @@ class DHCPClient:
                 DHCPClientState.REQUESTING, DHCPClientState.RENEWING):
             self._bound(message)
         elif message.op == DHCPOp.NAK:
-            self._fail()
+            if self.state == DHCPClientState.RENEWING:
+                # The server explicitly refused the renewal: the lease is
+                # dead now, not merely unrefreshed.
+                self._cancel_timeout()
+                self._lease_lost()
+            else:
+                self._fail()
 
     def _bound(self, message: DHCPMessage) -> None:
         assert message.your_ip is not None and message.subnet is not None
@@ -402,6 +429,8 @@ class DHCPClient:
                                 gateway=message.gateway,
                                 server_id=message.server_id,
                                 lease_time=message.lease_time)
+        self._lease_expires_at = (self.sim.now + message.lease_time
+                                  if message.lease_time > 0 else None)
         self.sim.trace.emit("dhcp", "bound", client=self.client_id,
                             address=str(message.your_ip))
         self._schedule_renewal(message.lease_time)
@@ -430,9 +459,40 @@ class DHCPClient:
         # mobile IP (the local role of Section 5.2).
         self._socket.sendto(request.wrap(), self.lease.server_id, SERVER_PORT,
                             via=self.interface)
-        self._on_bound = lambda lease: None
-        self._timeout_event = self.sim.call_later(ms(4000), self._fail,
+        self._timeout_event = self.sim.call_later(self._timeout,
+                                                  self._renew_failed,
                                                   label="dhcp-renew-timeout")
+
+    def _renew_failed(self) -> None:
+        """A renewal went unanswered: retry while the lease lasts."""
+        self._cancel_timeout()
+        self.renew_failures += 1
+        now = self.sim.now
+        expires_at = self._lease_expires_at
+        if self.lease is not None and expires_at is not None and now < expires_at:
+            # Still within the lease: fall back to BOUND and try again at
+            # half the remaining lifetime (the classic T1/T2 halving).
+            self.state = DHCPClientState.BOUND
+            retry_in = max(1, (expires_at - now) // 2)
+            self.sim.trace.emit("dhcp", "renew_retry", client=self.client_id,
+                                retry_ms=retry_in / 1_000_000)
+            self._cancel_renewal()
+            self._renew_event = self.sim.call_later(retry_in, self._renew,
+                                                    label="dhcp-renew")
+            return
+        self._lease_lost()
+
+    def _lease_lost(self) -> None:
+        """The lease lapsed (or was NAKed) without a successful renewal."""
+        address = self.lease.address if self.lease is not None else None
+        self.sim.trace.emit("dhcp", "lease_lost", client=self.client_id,
+                            address=str(address) if address else None)
+        self._cancel_renewal()
+        self.lease = None
+        self._lease_expires_at = None
+        self.state = DHCPClientState.IDLE
+        if self.on_lease_lost is not None:
+            self.on_lease_lost()
 
     def _fail(self) -> None:
         self._cancel_timeout()
@@ -443,10 +503,10 @@ class DHCPClient:
 
     def _cancel_timeout(self) -> None:
         if self._timeout_event is not None:
-            self._timeout_event.cancel()  # type: ignore[attr-defined]
+            self._timeout_event.cancel()
             self._timeout_event = None
 
     def _cancel_renewal(self) -> None:
         if self._renew_event is not None:
-            self._renew_event.cancel()  # type: ignore[attr-defined]
+            self._renew_event.cancel()
             self._renew_event = None

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from repro.net.addressing import IPAddress
 from repro.net.packet import AppData
+from repro.sim.engine import Event
 from repro.sim.units import ms, s
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -178,7 +179,7 @@ class _CachedAnswer:
 class _PendingQuery:
     on_answer: Callable[[Optional[IPAddress]], None]
     attempts: int
-    retry_event: object
+    retry_event: Optional[Event]
     name: str
 
 
@@ -259,7 +260,7 @@ class DNSResolver:
         if pending is None:
             return
         if pending.retry_event is not None:
-            pending.retry_event.cancel()  # type: ignore[attr-defined]
+            pending.retry_event.cancel()
         if message.rcode != DNSRcode.NOERROR or message.address is None:
             pending.on_answer(None)
             return

@@ -20,7 +20,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 from repro.config import Config, HostTimings
 from repro.net.addressing import IPAddress, UNSPECIFIED
 from repro.net.packet import ICMP_HEADER_BYTES, PROTO_ICMP, IPPacket
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 from repro.sim.fifo import FifoDelay
 from repro.sim.randomness import jittered
 from repro.sim.units import ms
@@ -62,7 +62,7 @@ class _PendingPing:
     on_reply: Callable[[int], None]
     on_timeout: Callable[[], None]
     sent_at: int
-    timeout_event: object
+    timeout_event: Event
 
 
 class ICMPService:
@@ -201,7 +201,7 @@ class ICMPService:
         pending = self._pending.pop(key, None)
         if pending is None:
             return
-        pending.timeout_event.cancel()  # type: ignore[attr-defined]
+        pending.timeout_event.cancel()
         pending.on_reply(self.sim.now - pending.sent_at)
 
     def _handle_redirect(self, message: ICMPMessage, iface: "NetworkInterface") -> None:

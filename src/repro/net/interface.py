@@ -22,7 +22,7 @@ from repro.config import Config, DeviceTimings
 from repro.net.addressing import IPAddress, MACAddress, Subnet
 from repro.net.arp import ARPMessage, ARPService
 from repro.net.packet import IPPacket
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, Time
 from repro.sim.randomness import jittered
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -166,6 +166,11 @@ class NetworkInterface:
         self.sim.trace.emit("device", "up_start", interface=self.name)
 
         def finish() -> None:
+            if self.state != InterfaceState.STARTING:
+                # A bring_down (e.g. an injected flap) raced this bring_up;
+                # the later operation wins.
+                self.sim.trace.emit("device", "up_aborted", interface=self.name)
+                return
             self.state = InterfaceState.UP
             self.sim.trace.emit("device", "up_done", interface=self.name)
             for addr in self._addresses:
@@ -186,6 +191,10 @@ class NetworkInterface:
         self.sim.trace.emit("device", "down_start", interface=self.name)
 
         def finish() -> None:
+            if self.state != InterfaceState.STOPPING:
+                self.sim.trace.emit("device", "down_aborted",
+                                    interface=self.name)
+                return
             self.state = InterfaceState.DOWN
             self.sim.trace.emit("device", "down_done", interface=self.name)
             if on_done is not None:
@@ -193,6 +202,28 @@ class NetworkInterface:
 
         self.sim.call_later(self._jittered(self.device.down_delay), finish,
                             label=f"ifdown:{self.name}")
+
+    def flap(self, down_for: Time, on_restored: Callback = None) -> None:
+        """Force the device down, then bring it back after *down_for* ns.
+
+        The fault injector's interface-flap primitive.  If something else
+        restarted the device while it was down, the restore step defers to
+        it rather than fighting over the state machine.
+        """
+        self.sim.trace.emit("device", "flap", interface=self.name,
+                            down_ms=down_for / 1_000_000)
+
+        def restore() -> None:
+            if self.state == InterfaceState.DOWN:
+                self.bring_up(on_restored)
+            elif on_restored is not None:
+                on_restored()
+
+        def downed() -> None:
+            self.sim.call_later(down_for, restore,
+                                label=f"flap-restore:{self.name}")
+
+        self.bring_down(downed)
 
     def configure(self, addr: IPAddress, net: Subnet,
                   on_done: Callback = None, make_primary: bool = True) -> None:

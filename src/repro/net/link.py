@@ -20,7 +20,7 @@ with an independent loss probability drawn from a dedicated RNG stream.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.config import LinkTimings
 from repro.net.addressing import IPAddress
@@ -52,6 +52,10 @@ class Link:
         self.frames_dropped = 0
         self.bytes_sent = 0
         self._rng = sim.rng(f"link:{name}")
+        #: Fault-injection hook, consulted before the link's own loss
+        #: model; return True to drop the frame.  None (the default) costs
+        #: nothing and consumes no randomness.
+        self.fault_hook: Optional[Callable[[], bool]] = None
         #: Per-transmitter busy-until times; key None = the shared medium.
         self._busy_until: Dict[object, int] = {}
         self._tx_frames = sim.metrics.counter("link", "tx_frames", link=name)
@@ -80,6 +84,12 @@ class Link:
         return max(0, self._busy_until.get(key, 0) - self.sim.now)
 
     def _drops(self) -> bool:
+        hook = self.fault_hook
+        if hook is not None and hook():
+            self.frames_dropped += 1
+            self._drop_frames.value += 1
+            self.sim.trace.emit("link", "fault_drop", link=self.name)
+            return True
         if bernoulli(self._rng, self.timings.loss_rate):
             self.frames_dropped += 1
             self._drop_frames.value += 1

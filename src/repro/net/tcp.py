@@ -35,7 +35,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 from repro.config import Config, HostTimings
 from repro.net.addressing import IPAddress, UNSPECIFIED
 from repro.net.packet import PROTO_TCP, TCP_HEADER_BYTES, AppData, IPPacket
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 from repro.sim.fifo import FifoDelay
 from repro.sim.randomness import jittered
 from repro.sim.units import ms
@@ -182,7 +182,7 @@ class TCPConnection:
         self._rto_backoff = 0
         self._timing_seq: Optional[int] = None   # Karn: seq whose RTT we time
         self._timing_sent_at = 0
-        self._retransmit_event: Optional[object] = None
+        self._retransmit_event: Optional[Event] = None
         self._retransmit_count = 0
 
         # Callbacks.
@@ -332,7 +332,7 @@ class TCPConnection:
 
     def _cancel_retransmit(self) -> None:
         if self._retransmit_event is not None:
-            self._retransmit_event.cancel()  # type: ignore[attr-defined]
+            self._retransmit_event.cancel()
             self._retransmit_event = None
 
     def _on_retransmit_timeout(self) -> None:

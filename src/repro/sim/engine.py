@@ -61,6 +61,11 @@ class Event:
 
     Events sort by ``(time, seq)``: earlier deadlines first, and among
     equal deadlines the event scheduled first runs first.
+
+    This is also the public cancellation handle: everything
+    :meth:`Simulator.call_at`/:meth:`Simulator.call_later` returns is an
+    :class:`Event`, so components should annotate stored timers as
+    ``Optional[Event]`` and call :meth:`cancel` without casts.
     """
 
     __slots__ = ("time", "seq", "callback", "label", "cancelled", "_owner")

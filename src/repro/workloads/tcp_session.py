@@ -18,6 +18,7 @@ from repro.net.addressing import IPAddress
 from repro.net.host import Host
 from repro.net.packet import AppData
 from repro.net.tcp import TCPConnection
+from repro.sim.engine import Event
 
 #: A telnet-ish service port.
 SESSION_PORT = 23
@@ -69,7 +70,7 @@ class TcpBulkSender:
         self.established = False
         self.reset = False
         self._running = False
-        self._tick_event: Optional[object] = None
+        self._tick_event: Optional[Event] = None
         self.connection = host.tcp.connect(target, port)
         self.connection.on_established = self._on_established
         self.connection.on_reset = self._on_reset
@@ -93,7 +94,7 @@ class TcpBulkSender:
         """Pause the chunk stream (connection stays open)."""
         self._running = False
         if self._tick_event is not None:
-            self._tick_event.cancel()  # type: ignore[attr-defined]
+            self._tick_event.cancel()
             self._tick_event = None
 
     def finish(self) -> None:

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 from repro.net.addressing import IPAddress
 from repro.net.host import Host
 from repro.net.packet import AppData
+from repro.sim.engine import Event
 
 #: The UDP echo port (RFC 862).
 ECHO_PORT = 7
@@ -84,7 +85,7 @@ class UdpEchoStream:
         self._records: Dict[int, EchoRecord] = {}
         self._next_seq = 0
         self._running = False
-        self._tick_event: Optional[object] = None
+        self._tick_event: Optional[Event] = None
 
     # ---------------------------------------------------------------- control
 
@@ -99,7 +100,7 @@ class UdpEchoStream:
         """Stop sending; already-sent probes may still be answered."""
         self._running = False
         if self._tick_event is not None:
-            self._tick_event.cancel()  # type: ignore[attr-defined]
+            self._tick_event.cancel()
             self._tick_event = None
 
     def _tick(self) -> None:
@@ -157,6 +158,19 @@ class UdpEchoStream:
             if record.lost:
                 out.append(record.seq)
         return sorted(out)
+
+    def received_count(self, since: Optional[int] = None,
+                       until: Optional[int] = None) -> int:
+        """Probes sent in [since, until) whose echo returned."""
+        count = 0
+        for record in self._records.values():
+            if since is not None and record.sent_at < since:
+                continue
+            if until is not None and record.sent_at >= until:
+                continue
+            if not record.lost:
+                count += 1
+        return count
 
     def rtts(self) -> List[int]:
         """Round-trip times of all answered probes, in send order."""

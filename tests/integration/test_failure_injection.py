@@ -144,7 +144,9 @@ def test_registration_gives_up_when_home_network_unreachable():
     testbed.mobile.register_current(
         on_registered=lambda outcome: failures.append("accepted"),
         on_failed=lambda: failures.append("failed"))
-    sim.run_for(s(15))
+    # Backed-off retransmissions (1 s, 2 s, 4 s) plus the capped 8 s
+    # give-up wait put terminal failure just past 15 s.
+    sim.run_for(s(20))
     assert failures == ["failed"]
 
 

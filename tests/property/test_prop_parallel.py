@@ -11,6 +11,7 @@ import pytest
 
 from repro.experiments.harness import as_plain_data
 from repro.experiments import (
+    run_chaos_experiment,
     run_device_switch_experiment,
     run_fa_ablation,
     run_ha_fleet_sweep,
@@ -47,6 +48,16 @@ def test_ha_fleet_sweep_is_jobs_invariant(seed):
     # Stats must not depend on which worker ran which shard.
     serial = run_ha_fleet_sweep(fleet_sizes=(120,), seed=seed, jobs=1)
     parallel = run_ha_fleet_sweep(fleet_sizes=(120,), seed=seed, jobs=4)
+    assert as_plain_data(parallel) == as_plain_data(serial)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_chaos_report_is_jobs_invariant(seed):
+    # The chaos sweep arms a nonzero FaultPlan in every cell; both the
+    # fault schedule and each fault's randomness must be addressed by the
+    # trial's own seed, never by which worker ran it.
+    serial = run_chaos_experiment(seed=seed, jobs=1)
+    parallel = run_chaos_experiment(seed=seed, jobs=4)
     assert as_plain_data(parallel) == as_plain_data(serial)
 
 

@@ -133,14 +133,47 @@ class TestClientRetransmission:
         assert seen["count"] == 3
 
     def test_gives_up_after_max_transmissions(self, lan):
+        # Under capped exponential backoff (1 s, 2 s, 4 s between the four
+        # transmissions, then an 8 s give-up wait) terminal failure lands
+        # just past 15 s instead of the old fixed-interval 4 s.
         client, seen = self._client_with_fake_agent(lan, drop_first=99)
         failures = []
         client.register(CARE_OF, on_done=lambda outcome: failures.append("done"),
                         on_fail=lambda: failures.append("fail"),
                         via=lan.a.interfaces[1])
-        lan.sim.run_for(s(10))
+        lan.sim.run_for(s(20))
         assert failures == ["fail"]
         assert seen["count"] == lan.config.registration.max_transmissions
+
+    def test_backoff_schedule_is_capped_exponential(self, lan):
+        client, _seen = self._client_with_fake_agent(lan, drop_first=99)
+        client.register(CARE_OF, on_done=lambda outcome: None,
+                        via=lan.a.interfaces[1])
+        lan.sim.run_for(s(20))
+        sends = [record.time for record in lan.sim.trace.records
+                 if record.category == "registration"
+                 and record.event == "request_sent"]
+        assert len(sends) == lan.config.registration.max_transmissions
+        gaps = [b - a for a, b in zip(sends, sends[1:])]
+        timings = lan.config.registration
+        # First retransmission waits exactly retransmit_interval; each
+        # later one doubles, clamped at backoff_cap.
+        expected = []
+        delay = timings.retransmit_interval
+        for _ in gaps:
+            expected.append(min(delay, timings.backoff_cap))
+            delay = int(delay * timings.backoff_multiplier)
+        assert gaps == expected
+
+    def test_give_up_fires_terminal_hook(self, lan):
+        client, _seen = self._client_with_fake_agent(lan, drop_first=99)
+        terminal = []
+        client.on_give_up = lambda request, attempts: terminal.append(
+            (request.identification, attempts))
+        client.register(CARE_OF, on_done=lambda outcome: None,
+                        via=lan.a.interfaces[1])
+        lan.sim.run_for(s(20))
+        assert terminal == [(1, lan.config.registration.max_transmissions)]
 
     def test_deregister_carries_home_as_care_of(self, lan):
         client, _seen = self._client_with_fake_agent(lan, drop_first=0)

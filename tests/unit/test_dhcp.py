@@ -131,6 +131,61 @@ def test_lease_renewal_is_unicast_local_role(dhcp_lan):
     assert renewed_expiry > first_expiry
 
 
+def test_renew_honors_configured_timeout(dhcp_lan):
+    """Regression: renewals used to wait a hard-coded 4 s regardless of
+    the timeout passed to acquire()."""
+    lan, server = dhcp_lan
+    client, _iface = make_client(lan)
+    bound_at = []
+    client.acquire(on_bound=lambda lease: bound_at.append(lan.sim.now),
+                   timeout=ms(1000))
+    lan.run(2000)
+    assert bound_at
+    server.online = False  # every renewal request now falls on the floor
+    renew_at = bound_at[0] + DEFAULT_CONFIG.dhcp_lease_time // 2
+    lan.sim.run(until=renew_at + ms(500))
+    assert client.renew_failures == 0  # configured timeout not yet reached
+    lan.sim.run_for(ms(700))           # now past the 1 s timeout
+    assert client.renew_failures == 1  # ...but well short of the old 4 s
+
+
+def test_failed_renew_rearms_and_recovers(dhcp_lan):
+    """A timed-out renewal retries at half the remaining lifetime and
+    succeeds once the server is reachable again."""
+    lan, server = dhcp_lan
+    client, _iface = make_client(lan)
+    bound_at = []
+    client.acquire(on_bound=lambda lease: bound_at.append(lan.sim.now),
+                   timeout=ms(1000))
+    lan.run(2000)
+    server.online = False
+    lease_time = DEFAULT_CONFIG.dhcp_lease_time
+    lan.sim.run(until=bound_at[0] + lease_time // 2 + ms(1500))
+    assert client.renew_failures >= 1
+    assert client.lease is not None  # still within the lease: not lost
+    server.online = True
+    first_expiry = server.lease_for("newcomer").expires_at
+    # The retry at half the remaining lifetime lands within lease_time//4.
+    lan.sim.run_for(lease_time // 4 + s(2))
+    assert server.lease_for("newcomer").expires_at > first_expiry
+    assert client.lease is not None
+
+
+def test_lease_lost_fires_when_lease_expires_unrenewed(dhcp_lan):
+    lan, server = dhcp_lan
+    client, _iface = make_client(lan)
+    lost = []
+    client.on_lease_lost = lambda: lost.append(lan.sim.now)
+    client.acquire(on_bound=lambda lease: None, timeout=ms(1000))
+    lan.run(2000)
+    server.online = False  # server gone for good
+    lan.sim.run_for(DEFAULT_CONFIG.dhcp_lease_time + s(10))
+    assert lost
+    assert client.lease is None
+    from repro.net.dhcp import DHCPClientState
+    assert client.state == DHCPClientState.IDLE
+
+
 def test_expired_leases_are_reclaimed(dhcp_lan):
     lan, server = dhcp_lan
     client, _ = make_client(lan)

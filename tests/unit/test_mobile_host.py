@@ -142,6 +142,61 @@ class TestForeignAgentMode:
         assert route.source == HOME
 
 
+class TestLifetimeRenewal:
+    def _renewing_testbed(self, lifetime, fraction, seed=88):
+        from dataclasses import replace
+
+        from repro.config import DEFAULT_CONFIG
+        from repro.sim import Simulator
+        from repro.testbed import build_testbed
+
+        config = DEFAULT_CONFIG.with_overrides(
+            registration=replace(DEFAULT_CONFIG.registration,
+                                 default_lifetime=lifetime,
+                                 renewal_fraction=fraction))
+        sim = Simulator(seed=seed)
+        return build_testbed(sim, config, with_remote_correspondent=False,
+                             with_dhcp=False)
+
+    def test_renewal_keeps_binding_alive_past_lifetime(self):
+        testbed = self._renewing_testbed(lifetime=s(2), fraction=0.5)
+        testbed.visit_dept()
+        testbed.sim.run_for(s(7))
+        assert testbed.mobile.renewals_sent >= 2
+        assert testbed.home_agent.bindings.get(HOME) is not None
+        assert testbed.home_agent.bindings_expired == 0
+
+    def test_without_renewal_binding_expires(self):
+        testbed = self._renewing_testbed(lifetime=s(2), fraction=0.0)
+        testbed.visit_dept()
+        testbed.sim.run_for(s(7))
+        assert testbed.mobile.renewals_sent == 0
+        assert testbed.home_agent.bindings.get(HOME) is None
+        assert testbed.home_agent.bindings_expired == 1
+
+    def test_renewal_survives_home_agent_restart(self):
+        from repro.faults import FaultInjector, FaultPlan, HomeAgentRestart
+
+        testbed = self._renewing_testbed(lifetime=s(2), fraction=0.5)
+        testbed.visit_dept()
+        plan = FaultPlan.of(HomeAgentRestart(at=s(2), down_for=ms(800)))
+        FaultInjector.for_testbed(testbed, plan).arm()
+        testbed.sim.run_for(ms(2500))
+        assert testbed.home_agent.bindings.get(HOME) is None  # state lost
+        testbed.sim.run_for(s(8))
+        # A later renewal re-registered once the agent came back.
+        assert testbed.home_agent.bindings.get(HOME) is not None
+
+    def test_coming_home_cancels_renewal(self):
+        testbed = self._renewing_testbed(lifetime=s(2), fraction=0.5)
+        testbed.visit_dept()
+        testbed.sim.run_for(ms(500))
+        testbed.mobile.come_home(gateway=testbed.addresses.router_home)
+        renewed_before = testbed.mobile.renewals_sent
+        testbed.sim.run_for(s(6))
+        assert testbed.mobile.renewals_sent == renewed_before
+
+
 def test_describe_attachment_changes_with_location(testbed):
     at_home = testbed.mobile.describe_attachment()
     assert "at home" in at_home
