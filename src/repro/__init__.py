@@ -37,6 +37,17 @@ Sixty-second tour::
 from repro.api import RunResult, Scenario
 from repro.config import DEFAULT_CONFIG, Config
 from repro.core.home_agent import HomeAgentService
+from repro.faults import (
+    DhcpOutage,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    GilbertElliottPhase,
+    HomeAgentRestart,
+    InterfaceFlap,
+    LossBurst,
+    ReplyDropWindow,
+)
 from repro.core.mobile_host import MobileHost
 from repro.core.policy import RoutingMode
 from repro.sim.engine import Simulator
@@ -51,7 +62,16 @@ __version__ = "1.1.0"
 __all__ = [
     "Config",
     "DEFAULT_CONFIG",
+    "DhcpOutage",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "GilbertElliottPhase",
     "HomeAgent",
+    "HomeAgentRestart",
+    "InterfaceFlap",
+    "LossBurst",
+    "ReplyDropWindow",
     "HomeAgentService",
     "MobileHost",
     "RoutingMode",

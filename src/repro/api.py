@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.config import Config, DEFAULT_CONFIG
+from repro.faults import FaultInjector, FaultPlan
 from repro.obs.export import format_report, snapshot_to_json
 from repro.obs.metrics import MetricsRegistry
 from repro.sim.engine import Simulator, Time
@@ -49,6 +50,9 @@ class RunResult:
     workloads: Dict[str, Any] = field(default_factory=dict)
     #: Flat metrics snapshot taken at the end of the run.
     snapshot: Dict[str, object] = field(default_factory=dict)
+    #: The armed fault injector, when the scenario declared a fault plan
+    #: (``Scenario.with_faults``); ``None`` otherwise.
+    fault_injector: Optional[FaultInjector] = None
 
     @property
     def trace(self) -> Trace:
@@ -83,6 +87,7 @@ class Scenario:
         self._testbed_kwargs: Optional[Dict[str, Any]] = None
         self._workloads: List[tuple] = []      # (name, factory)
         self._steps: List[tuple] = []          # (at_ns, fn, label)
+        self._fault_plan: Optional[FaultPlan] = None
         self._ran = False
 
     # ------------------------------------------------------------- declaration
@@ -109,6 +114,35 @@ class Scenario:
              factory))
         return self
 
+    def with_config(self, **overrides: Any) -> "Scenario":
+        """Override calibrated constants for this run.
+
+        Keyword arguments are :class:`~repro.config.Config` field names,
+        applied via ``Config.with_overrides`` on top of whatever config the
+        scenario already holds (the constructor's, or earlier
+        ``with_config`` calls — later calls win field-by-field)::
+
+            Scenario(seed=7).with_config(tcp_congestion_control="cubic",
+                                         tcp_sack=True)
+
+        Equivalent to passing ``config=DEFAULT_CONFIG.with_overrides(...)``
+        to the constructor, so results stay byte-identical with the manual
+        path.
+        """
+        self.config = self.config.with_overrides(**overrides)
+        return self
+
+    def with_faults(self, plan: FaultPlan) -> "Scenario":
+        """Arm a deterministic fault plan against the testbed.
+
+        At run time — after workload factories, before scheduled steps —
+        the plan is bound with ``FaultInjector.for_testbed`` and armed,
+        exactly as a hand-written script would.  The injector lands in
+        ``RunResult.fault_injector``.  Requires ``with_testbed()``.
+        """
+        self._fault_plan = plan
+        return self
+
     def with_step(self, at: Time, fn: Callable[[Testbed], None],
                   label: str = "scenario-step") -> "Scenario":
         """Schedule *fn(testbed)* at virtual time *at* (mobility moves)."""
@@ -131,6 +165,12 @@ class Scenario:
         result = RunResult(sim=sim, testbed=testbed)
         for name, factory in self._workloads:
             result.workloads[name] = factory(testbed)
+        if self._fault_plan is not None:
+            if testbed is None:
+                raise RuntimeError("with_faults() requires with_testbed()")
+            result.fault_injector = FaultInjector.for_testbed(
+                testbed, self._fault_plan)
+            result.fault_injector.arm()
         for at, fn, label in self._steps:
             sim.call_at(at, lambda fn=fn: fn(testbed), label=label)
         sim.run_for(duration)

@@ -8,8 +8,9 @@ Usage::
     python -m repro.bench --jobs 4     # worker count for the parallel bench
 
 Runs the engine benchmark, the datapath benchmarks, the same-seed
-determinism guard, and the serial-vs-parallel experiment-suite bench,
-then writes ``BENCH_engine.json``, ``BENCH_datapath.json`` and
+determinism guard, the TCP congestion-control comparison, and the
+serial-vs-parallel experiment-suite bench, then writes
+``BENCH_engine.json``, ``BENCH_datapath.json``, ``BENCH_tcp.json`` and
 ``BENCH_parallel.json``.  The exit status reflects *correctness only*:
 0 unless a determinism check fails (the guard, or serial/parallel report
 divergence).  Speed numbers are reported, never gated on — wall time
@@ -27,6 +28,7 @@ from repro.bench.datapath_bench import run_datapath_bench
 from repro.bench.engine_bench import run_engine_bench
 from repro.bench.guard import run_determinism_guard
 from repro.bench.parallel_bench import run_parallel_bench
+from repro.bench.tcp_bench import run_tcp_bench
 
 
 def _write(path: Path, doc: dict) -> None:
@@ -77,6 +79,14 @@ def main(argv: list) -> int:
         print(f"{run['config']:<20} {run['events_run']:>7} events  {status}")
     datapath["determinism_guard"] = guard
 
+    print("== tcp congestion control ==")
+    tcp = run_tcp_bench(quick=args.quick)
+    for cc, cell in tcp["cells"].items():
+        status = "ok" if cell["rerun_identical"] else "MISMATCH"
+        print(f"{cc:<8} goodput {cell['goodput_kbps']:6.1f} kbit/s  "
+              f"retrans {cell['retransmits']:>3}  "
+              f"{cell['wall_s']:6.2f}s  {status}")
+
     print("== parallel experiment runner ==")
     parallel = run_parallel_bench(jobs=args.jobs, quick=args.quick)
     for name, entry in parallel["experiments"].items():
@@ -91,6 +101,7 @@ def main(argv: list) -> int:
 
     _write(args.out / "BENCH_engine.json", engine)
     _write(args.out / "BENCH_datapath.json", datapath)
+    _write(args.out / "BENCH_tcp.json", tcp)
     _write(args.out / "BENCH_parallel.json", parallel)
 
     failed = False
@@ -101,6 +112,13 @@ def main(argv: list) -> int:
     else:
         print("determinism guard passed: snapshots byte-identical "
               "across configs")
+    if not tcp["deterministic"]:
+        print("tcp bench FAILED: a congestion-control strategy is "
+              "nondeterministic", file=sys.stderr)
+        failed = True
+    else:
+        print("tcp bench passed: same-seed reruns identical for "
+              + ", ".join(tcp["cells"]))
     if not parallel["identical"]:
         print("parallel determinism FAILED: --jobs changed experiment "
               "reports", file=sys.stderr)

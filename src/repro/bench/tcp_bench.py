@@ -1,0 +1,57 @@
+"""TCP congestion-control benchmark: Tahoe vs Reno vs CUBIC.
+
+Runs one x6 sweep cell per strategy — the hard one: Gilbert-Elliott
+bursty loss plus a mid-stream Ethernet-to-radio handoff — and reports
+application goodput, retransmission work, and wall time side by side.
+Each cell is then re-run with the same seed and compared field-by-field:
+any divergence means a strategy consumed nondeterministic state (the
+repository's cardinal sin), and the benchmark reports
+``deterministic: false`` so the CLI can fail the run.
+
+Speed numbers are informational; determinism is the contract.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from repro.experiments.exp_tcp_cc import run_tcp_cc_trial
+
+#: The strategies under comparison, in report order.
+STRATEGIES = ("tahoe", "reno", "cubic")
+#: The seed matches x6's default base so numbers line up with the report.
+SEED = 113
+
+
+def run_tcp_bench(quick: bool = False) -> dict:
+    """Benchmark every strategy on the lossy-handoff cell; verify determinism.
+
+    ``quick`` drops the loss phase and the handoff (CI smoke runs), which
+    shortens the simulated recovery tail without changing the shape of
+    the output document.
+    """
+    loss_rate = 0.0 if quick else 0.25
+    handoff = not quick
+    cells: Dict[str, dict] = {}
+    deterministic = True
+    for cc in STRATEGIES:
+        started = time.perf_counter()
+        outcome = run_tcp_cc_trial(cc, loss_rate=loss_rate, handoff=handoff,
+                                   seed=SEED)
+        wall_s = time.perf_counter() - started
+        rerun = run_tcp_cc_trial(cc, loss_rate=loss_rate, handoff=handoff,
+                                 seed=SEED)
+        identical = outcome == rerun
+        deterministic = deterministic and identical
+        cells[cc] = dict(outcome, wall_s=round(wall_s, 4),
+                         rerun_identical=identical)
+    return {
+        "quick": quick,
+        "loss_rate": loss_rate,
+        "handoff": handoff,
+        "seed": SEED,
+        "cells": cells,
+        "goodput_kbps": {cc: cells[cc]["goodput_kbps"] for cc in STRATEGIES},
+        "deterministic": deterministic,
+    }

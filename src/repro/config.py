@@ -250,6 +250,22 @@ class Config:
     #: Default TTL stamped on locally originated packets.
     default_ttl: int = 64
 
+    # ------------------------------------------------------------ transport
+    #: TCP congestion-control strategy for new connections: "tahoe" (the
+    #: seed's slow-start/AIMD with timeout collapse — byte-identical
+    #: default), "reno" (RFC 5681 fast retransmit/fast recovery), or
+    #: "cubic" (RFC 8312, deterministic fixed-point).  See
+    #: ``repro.net.congestion.CONGESTION_CONTROLS``.
+    tcp_congestion_control: str = "tahoe"
+    #: Enable selective acknowledgments (RFC 2018): the receiver buffers
+    #: out-of-order segments and advertises up to three SACK blocks; the
+    #: sender retransmits holes from a scoreboard.  Off by default (the
+    #: seed's go-back-N behaviour).
+    tcp_sack: bool = False
+    #: RFC 6298 retransmission-timeout bounds, nanoseconds.
+    tcp_min_rto: int = ms(400)
+    tcp_max_rto: int = ms(16_000)
+
     # ------------------------------------------------------------ fast path
     #: Event-queue implementation for Scenario-built simulators: "heap"
     #: (binary heap, default) or "wheel" (hierarchical timer wheel).  Both

@@ -22,6 +22,9 @@ Extension experiments (features the paper names but defers):
   automatic network selector (Section 6).
 * :mod:`repro.experiments.exp_chaos` — session survival under injected
   faults (``repro.faults``): loss phases, flaps, home-agent restart.
+* :mod:`repro.experiments.exp_tcp_cc` — TCP congestion-control sweep
+  (Tahoe vs Reno vs CUBIC, SACK) over bursty loss and a mid-stream
+  Ethernet-to-radio handoff.
 
 ``python -m repro.experiments`` runs everything and prints paper-style
 reports.
@@ -62,6 +65,10 @@ from repro.experiments.exp_smart_correspondent import (
     SmartCorrespondentReport,
     run_smart_correspondent_experiment,
 )
+from repro.experiments.exp_tcp_cc import (
+    TcpCcReport,
+    run_tcp_cc_experiment,
+)
 
 __all__ = [
     "run_registration_experiment",
@@ -84,4 +91,6 @@ __all__ = [
     "AutoswitchReport",
     "run_chaos_experiment",
     "ChaosReport",
+    "run_tcp_cc_experiment",
+    "TcpCcReport",
 ]

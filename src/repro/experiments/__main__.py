@@ -10,9 +10,9 @@ Usage::
 
 Experiment ids: ``e1`` (same-subnet switch), ``f6`` (device switching),
 ``f7`` (registration time-line), ``f3`` (routing options), ``a1``
-(foreign-agent ablation), ``x1``-``x5`` (extensions; ``x4`` is the
+(foreign-agent ablation), ``x1``-``x6`` (extensions; ``x4`` is the
 sharded 100-1000-host home-agent fleet sweep, ``x5`` the fault-injection
-chaos sweep).
+chaos sweep, ``x6`` the TCP congestion-control sweep).
 
 ``--jobs N`` runs each experiment's independent trials across N worker
 processes; reports are byte-identical to ``--jobs 1`` (seeds are
@@ -54,6 +54,7 @@ from repro.experiments.exp_same_subnet import run_same_subnet_experiment
 from repro.experiments.exp_smart_correspondent import (
     run_smart_correspondent_experiment,
 )
+from repro.experiments.exp_tcp_cc import run_tcp_cc_experiment
 
 RUNNERS = {
     "e1": ("Same-subnet address switch (Section 4)",
@@ -78,6 +79,8 @@ RUNNERS = {
            lambda jobs: run_ha_fleet_sweep(jobs=jobs).format_report()),
     "x5": ("Chaos sweep: fault injection and recovery (extension)",
            lambda jobs: run_chaos_experiment(jobs=jobs).format_report()),
+    "x6": ("TCP congestion control: Tahoe/Reno/CUBIC over mobility (extension)",
+           lambda jobs: run_tcp_cc_experiment(jobs=jobs).format_report()),
 }
 
 

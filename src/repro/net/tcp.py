@@ -1,4 +1,4 @@
-"""A simplified TCP: enough to show connections surviving handoffs.
+"""A TCP faithful enough to measure mobility against modern transports.
 
 The paper's motivating requirement is that "restarting all applications
 every time we change locations is unacceptably annoying" — long-lived TCP
@@ -7,34 +7,44 @@ works in MosquitoNet because the connection's addresses never change: the
 mobile host's end is always the home address, and segments lost during an
 outage are recovered by ordinary retransmission.
 
-This implementation is deliberately scoped to what the reproduction needs:
+This implementation covers what the reproduction needs:
 
 * three-way handshake, data transfer, FIN teardown, RST on unknown segments;
 * byte-oriented sequence numbers with cumulative ACKs;
-* timeout retransmission driven by one RTO timer per connection, with
-  Jacobson/Karels RTT estimation and exponential backoff (Karn's rule:
-  retransmitted segments don't update the RTT estimate);
-* Tahoe-style congestion control: slow start and congestion avoidance,
-  timeout collapses the window to one segment.  Without it a timeout
-  across the 34 kbit/s radio would dump the whole window into a pipe that
-  takes over a second to drain it — congestion collapse, the exact
-  problem Van Jacobson fixed in 1988 and every 1996 TCP already had.
+* RFC 6298 retransmission timeout: SRTT/RTTVAR estimation
+  (:class:`RtoEstimator`), Karn's algorithm (retransmitted segments are
+  never timed, on any path), exponential backoff that resets on a fresh
+  RTT sample, min/max bounds from ``Config.tcp_min_rto``/``tcp_max_rto``;
+* pluggable congestion control (:mod:`repro.net.congestion`): the seed's
+  Tahoe variant (slow start + congestion avoidance, timeout collapse —
+  the byte-identical default), Reno (RFC 5681 fast retransmit/fast
+  recovery with NewReno partial ACKs), and CUBIC (RFC 8312, deterministic
+  fixed-point), selected via ``Config.tcp_congestion_control``;
+* selective acknowledgments (RFC 2018, ``Config.tcp_sack``): the receiver
+  buffers out-of-order segments and advertises up to three SACK blocks;
+  the sender keeps a :class:`~repro.net.sack.SackScoreboard` and skips
+  already-received ranges when retransmitting.
 
-Out of scope: out-of-order reassembly (a receiver ACKs what it has; the
-sender resends the rest), fast retransmit, selective ACKs, urgent data,
-window scaling.
+Out of scope: urgent data, window scaling, delayed ACKs.
 """
 
 from __future__ import annotations
 
 import enum
 import itertools
+import warnings
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.config import Config, HostTimings
 from repro.net.addressing import IPAddress, UNSPECIFIED
+from repro.net.congestion import (
+    DUP_ACK_THRESHOLD,
+    CongestionControl,
+    make_congestion_control,
+)
 from repro.net.packet import PROTO_TCP, TCP_HEADER_BYTES, AppData, IPPacket
+from repro.net.sack import ReassemblyBuffer, SackScoreboard
 from repro.sim.engine import Event, Simulator
 from repro.sim.fifo import FifoDelay
 from repro.sim.randomness import jittered
@@ -49,6 +59,10 @@ FLAG_ACK = "ACK"
 FLAG_FIN = "FIN"
 FLAG_RST = "RST"
 
+#: Wire cost of the SACK option: 2 bytes of kind/length plus 8 per block.
+SACK_OPTION_BASE_BYTES = 2
+SACK_BLOCK_BYTES = 8
+
 
 class TCPSegment:
     """One TCP segment; ``seq`` counts bytes, SYN/FIN occupy one each.
@@ -56,19 +70,23 @@ class TCPSegment:
     A hand-rolled ``__slots__`` value class (previously a frozen
     dataclass): one is allocated per transmission including every
     retransmission, so construction cost is part of the datapath.
-    Treat instances as immutable.
+    Treat instances as immutable.  ``sack`` carries the receiver's
+    advertised ``(start, end)`` blocks (empty when SACK is off).
     """
 
-    __slots__ = ("src_port", "dst_port", "seq", "ack", "flags", "payload")
+    __slots__ = ("src_port", "dst_port", "seq", "ack", "flags", "payload",
+                 "sack")
 
     def __init__(self, src_port: int, dst_port: int, seq: int, ack: int,
-                 flags: frozenset, payload: Optional[AppData] = None) -> None:
+                 flags: frozenset, payload: Optional[AppData] = None,
+                 sack: Tuple[Tuple[int, int], ...] = ()) -> None:
         self.src_port = src_port
         self.dst_port = dst_port
         self.seq = seq
         self.ack = ack
         self.flags = flags
         self.payload = payload if payload is not None else AppData()
+        self.sack = sack
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, TCPSegment):
@@ -77,21 +95,26 @@ class TCPSegment:
                 and self.dst_port == other.dst_port
                 and self.seq == other.seq and self.ack == other.ack
                 and self.flags == other.flags
-                and self.payload == other.payload)
+                and self.payload == other.payload
+                and self.sack == other.sack)
 
     def __hash__(self) -> int:
         return hash((TCPSegment, self.src_port, self.dst_port, self.seq,
-                     self.ack, self.flags, self.payload))
+                     self.ack, self.flags, self.payload, self.sack))
 
     def __repr__(self) -> str:
         return (f"TCPSegment(src_port={self.src_port}, "
                 f"dst_port={self.dst_port}, seq={self.seq}, ack={self.ack}, "
-                f"flags={self.flags!r}, payload={self.payload!r})")
+                f"flags={self.flags!r}, payload={self.payload!r}, "
+                f"sack={self.sack!r})")
 
     @property
     def size_bytes(self) -> int:
-        """Wire size: TCP header plus payload."""
-        return TCP_HEADER_BYTES + self.payload.size_bytes
+        """Wire size: TCP header plus options plus payload."""
+        size = TCP_HEADER_BYTES + self.payload.size_bytes
+        if self.sack:
+            size += SACK_OPTION_BASE_BYTES + SACK_BLOCK_BYTES * len(self.sack)
+        return size
 
     @property
     def seq_space(self) -> int:
@@ -106,8 +129,12 @@ class TCPSegment:
     def describe(self) -> str:
         """One-line human-readable summary."""
         names = "|".join(sorted(self.flags)) or "-"
-        return (f"{self.src_port}->{self.dst_port} {names} seq={self.seq} "
+        base = (f"{self.src_port}->{self.dst_port} {names} seq={self.seq} "
                 f"ack={self.ack} len={self.payload.size_bytes}")
+        if self.sack:
+            blocks = ",".join(f"{start}-{end}" for start, end in self.sack)
+            base += f" sack={blocks}"
+        return base
 
 
 class TCPState(enum.Enum):
@@ -128,7 +155,8 @@ ConnKey = Tuple[int, IPAddress, int]
 
 _initial_seq = itertools.count(1000, 64000)
 
-#: Retransmission limits.
+#: Retransmission limits (defaults; ``Config.tcp_min_rto``/``tcp_max_rto``
+#: override per simulation).
 MIN_RTO = ms(400)
 MAX_RTO = ms(16_000)
 MAX_RETRANSMITS = 12
@@ -137,6 +165,61 @@ TIME_WAIT_DELAY = ms(2000)
 DEFAULT_WINDOW_BYTES = 4096
 #: Maximum payload bytes per segment.
 DEFAULT_MSS = 512
+
+#: States in which the sender may have data in flight.
+_DATA_STATES = (TCPState.ESTABLISHED, TCPState.CLOSE_WAIT,
+                TCPState.FIN_WAIT_1, TCPState.LAST_ACK)
+
+
+class RtoEstimator:
+    """RFC 6298 retransmission-timeout state, in integer nanoseconds.
+
+    ``SRTT``/``RTTVAR`` use the RFC's EWMA gains (1/8 and 1/4) in integer
+    arithmetic; ``RTO = SRTT + max(G, 4 * RTTVAR)`` clamped to the
+    configured bounds.  The simulator's clock is exact, so the clock
+    granularity ``G`` defaults to zero rather than the RFC's 1-second
+    wall-clock guidance — the *bounds* carry the conservatism instead.
+    Karn's algorithm lives in the connection (it decides which segments
+    are timed); this class owns the backoff, which per RFC 6298 (5.5-5.7)
+    doubles on each timer expiry and resets once a fresh sample arrives.
+    """
+
+    __slots__ = ("min_rto", "max_rto", "granularity", "backoff_limit",
+                 "srtt", "rttvar", "rto", "backoff")
+
+    def __init__(self, *, min_rto: int = MIN_RTO, max_rto: int = MAX_RTO,
+                 granularity: int = 0, backoff_limit: int = 6,
+                 initial_rto: int = ms(1000)) -> None:
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self.granularity = granularity
+        self.backoff_limit = backoff_limit
+        self.srtt: Optional[int] = None
+        self.rttvar: int = 0
+        self.rto: int = initial_rto
+        self.backoff: int = 0
+
+    def sample(self, measured: int) -> None:
+        """Fold one RTT measurement in (RFC 6298 2.2/2.3); resets backoff."""
+        if self.srtt is None:
+            self.srtt = measured
+            self.rttvar = measured // 2
+        else:
+            delta = measured - self.srtt
+            self.srtt += delta // 8
+            self.rttvar += (abs(delta) - self.rttvar) // 4
+        self.rto = max(self.min_rto,
+                       min(self.max_rto,
+                           self.srtt + max(self.granularity, 4 * self.rttvar)))
+        self.backoff = 0
+
+    def back_off(self) -> None:
+        """The timer expired: double the next timeout (bounded)."""
+        self.backoff = min(self.backoff + 1, self.backoff_limit)
+
+    def current(self) -> int:
+        """The timeout to arm right now, backoff included."""
+        return min(self.max_rto, self.rto << self.backoff)
 
 
 @dataclass
@@ -147,10 +230,34 @@ class _SendItem:
 
 
 class TCPConnection:
-    """One endpoint of a TCP connection."""
+    """One endpoint of a TCP connection.
+
+    Window policy is delegated to a :class:`CongestionControl` strategy
+    (``congestion_control`` keyword, default from
+    ``Config.tcp_congestion_control``); ``initial_cwnd`` /
+    ``initial_ssthresh`` are keyword-only tuning knobs.
+    """
 
     def __init__(self, service: "TCPService", local_addr: IPAddress,
-                 local_port: int, remote_addr: IPAddress, remote_port: int) -> None:
+                 local_port: int, remote_addr: IPAddress, remote_port: int,
+                 *shim_args,
+                 congestion_control: Optional[str] = None,
+                 initial_cwnd: Optional[int] = None,
+                 initial_ssthresh: Optional[int] = None) -> None:
+        if shim_args:
+            if len(shim_args) > 2:
+                raise TypeError(
+                    f"TCPConnection takes at most 2 positional tuning "
+                    f"arguments (cwnd, ssthresh), got {len(shim_args)}")
+            warnings.warn(
+                "passing cwnd/ssthresh tuning positionally to TCPConnection "
+                "is deprecated; use keyword-only initial_cwnd= and "
+                "initial_ssthresh=", DeprecationWarning, stacklevel=2)
+            shim = dict(zip(("initial_cwnd", "initial_ssthresh"), shim_args))
+            if initial_cwnd is None:
+                initial_cwnd = shim.get("initial_cwnd")
+            if initial_ssthresh is None:
+                initial_ssthresh = shim.get("initial_ssthresh")
         self._service = service
         self.sim = service.sim
         self.local_addr = local_addr
@@ -158,6 +265,7 @@ class TCPConnection:
         self.remote_addr = remote_addr
         self.remote_port = remote_port
         self.state = TCPState.CLOSED
+        config = service.config
 
         # Send side.
         self.iss = next(_initial_seq)
@@ -171,15 +279,27 @@ class TCPConnection:
         # Receive side.
         self.rcv_nxt = 0
 
-        # Congestion control (Tahoe): slow start + congestion avoidance.
-        self.cwnd = 2 * DEFAULT_MSS
-        self.ssthresh = DEFAULT_WINDOW_BYTES
+        # Congestion control: a pluggable strategy.
+        name = (congestion_control if congestion_control is not None
+                else config.tcp_congestion_control)
+        self.cc: CongestionControl = make_congestion_control(
+            name, mss=DEFAULT_MSS, max_window=DEFAULT_WINDOW_BYTES,
+            initial_cwnd=initial_cwnd, initial_ssthresh=initial_ssthresh)
+        self._dupacks = 0
+        self._in_recovery = False
+        self._recover = self.iss         # recovery point (RFC 6582)
+        self._rexmit_cursor = self.iss   # highest seq retransmitted this
+        #                                  recovery (scoreboard-driven)
 
-        # RTT estimation (Jacobson/Karels), nanoseconds.
-        self._srtt: Optional[int] = None
-        self._rttvar: int = 0
-        self._rto: int = ms(1000)
-        self._rto_backoff = 0
+        # Selective acknowledgments (both directions gated on one knob).
+        self._scoreboard: Optional[SackScoreboard] = (
+            SackScoreboard() if config.tcp_sack else None)
+        self._reassembly: Optional[ReassemblyBuffer] = (
+            ReassemblyBuffer() if config.tcp_sack else None)
+
+        # RTT estimation / RTO (RFC 6298), nanoseconds.
+        self._rto_est = RtoEstimator(min_rto=config.tcp_min_rto,
+                                     max_rto=config.tcp_max_rto)
         self._timing_seq: Optional[int] = None   # Karn: seq whose RTT we time
         self._timing_sent_at = 0
         self._retransmit_event: Optional[Event] = None
@@ -196,6 +316,7 @@ class TCPConnection:
         self.bytes_received = 0
         self.segments_sent = 0
         self.segments_retransmitted = 0
+        self.fast_retransmits = 0
 
     # ------------------------------------------------------------ public API
 
@@ -203,6 +324,42 @@ class TCPConnection:
     def key(self) -> ConnKey:
         """The demux key: (local port, remote addr, remote port)."""
         return (self.local_port, self.remote_addr, self.remote_port)
+
+    @property
+    def cwnd(self) -> int:
+        """The congestion window, owned by the strategy."""
+        return self.cc.cwnd
+
+    @cwnd.setter
+    def cwnd(self, value: int) -> None:
+        self.cc.cwnd = value
+
+    @property
+    def ssthresh(self) -> int:
+        """The slow-start threshold, owned by the strategy."""
+        return self.cc.ssthresh
+
+    @ssthresh.setter
+    def ssthresh(self, value: int) -> None:
+        self.cc.ssthresh = value
+
+    # Estimator internals, exposed read-only for tests and experiments.
+
+    @property
+    def _srtt(self) -> Optional[int]:
+        return self._rto_est.srtt
+
+    @property
+    def _rttvar(self) -> int:
+        return self._rto_est.rttvar
+
+    @property
+    def _rto(self) -> int:
+        return self._rto_est.rto
+
+    @property
+    def _rto_backoff(self) -> int:
+        return self._rto_est.backoff
 
     def send(self, data: AppData) -> None:
         """Queue application data for reliable delivery.
@@ -264,10 +421,9 @@ class TCPConnection:
 
     def _pump(self) -> None:
         """Transmit whatever the window allows."""
-        if self.state not in (TCPState.ESTABLISHED, TCPState.CLOSE_WAIT,
-                              TCPState.FIN_WAIT_1, TCPState.LAST_ACK):
+        if self.state not in _DATA_STATES:
             return
-        window_limit = self.snd_una + min(DEFAULT_WINDOW_BYTES, self.cwnd)
+        window_limit = self.snd_una + self.cc.window()
         base = self.iss + 1
         for item in self._send_buffer:
             seq = base + item.offset
@@ -276,6 +432,13 @@ class TCPConnection:
                 continue  # already in flight
             if end > window_limit:
                 break
+            if (self._scoreboard is not None and end <= self.snd_max
+                    and self._scoreboard.is_sacked(seq, end)):
+                # Rewound over a range the receiver already holds: skip
+                # it instead of re-sending (scoreboard-driven recovery).
+                self.snd_nxt = max(self.snd_nxt, end)
+                continue
+            fresh = end > self.snd_max
             if item.fin:
                 self._emit(flags=frozenset({FLAG_FIN, FLAG_ACK}), seq=seq)
             else:
@@ -283,7 +446,10 @@ class TCPConnection:
                 self.bytes_sent += item.data.size_bytes
             self.snd_nxt = end
             self.snd_max = max(self.snd_max, end)
-            if self._timing_seq is None:
+            if self._timing_seq is None and fresh:
+                # Karn's algorithm: only first transmissions are timed; a
+                # retransmission's ACK is ambiguous and must not feed the
+                # estimator.
                 self._start_timing(seq)
         if self.snd_nxt > self.snd_una and self._retransmit_event is None:
             # Only arm if idle: re-arming on every application write would
@@ -293,11 +459,16 @@ class TCPConnection:
 
     def _emit(self, flags: frozenset, seq: Optional[int] = None,
               payload: Optional[AppData] = None) -> None:
+        sack: Tuple[Tuple[int, int], ...] = ()
+        if (self._reassembly is not None and self._reassembly
+                and FLAG_ACK in flags):
+            sack = self._reassembly.sack_blocks(lambda seg: seg.seq_space)
         segment = TCPSegment(
             src_port=self.local_port, dst_port=self.remote_port,
             seq=seq if seq is not None else self.snd_nxt,
             ack=self.rcv_nxt, flags=flags,
             payload=payload if payload is not None else AppData(None, 0),
+            sack=sack,
         )
         self.segments_sent += 1
         self._service.transmit(self, segment)
@@ -312,21 +483,12 @@ class TCPConnection:
         self._timing_sent_at = self.sim.now
 
     def _update_rtt(self, measured: int) -> None:
-        if self._srtt is None:
-            self._srtt = measured
-            self._rttvar = measured // 2
-        else:
-            delta = measured - self._srtt
-            self._srtt += delta // 8
-            self._rttvar += (abs(delta) - self._rttvar) // 4
-        self._rto = max(MIN_RTO, min(MAX_RTO, self._srtt + 4 * self._rttvar))
-        self._rto_backoff = 0
+        self._rto_est.sample(measured)
 
     def _arm_retransmit(self) -> None:
         self._cancel_retransmit()
-        rto = min(MAX_RTO, self._rto << self._rto_backoff)
         self._retransmit_event = self.sim.call_later(
-            rto, self._on_retransmit_timeout,
+            self._rto_est.current(), self._on_retransmit_timeout,
             label=f"tcp-rto:{self.local_port}",
         )
 
@@ -350,17 +512,24 @@ class TCPConnection:
             return
         self.segments_retransmitted += 1
         self._service.retransmits_counter.value += 1
-        self._rto_backoff = min(self._rto_backoff + 1, 6)
+        self._rto_est.back_off()
         self._timing_seq = None  # Karn's rule
-        # Tahoe on timeout: remember half the flight as the slow-start
-        # threshold, collapse the window to one segment, and rewind the
-        # send point to the oldest unacknowledged byte.  The pump then
-        # resends exactly one segment now; slow start re-covers the rest
-        # as ACKs return, instead of dumping the whole window into a slow
-        # link at once.
+        if self._in_recovery:
+            # The timeout overrides fast recovery entirely.
+            self._in_recovery = False
+        self._dupacks = 0
+        if self._scoreboard is not None:
+            # RFC 2018: SACK data is advisory and the receiver may have
+            # reneged; after a timeout everything unacknowledged is fair
+            # game again.
+            self._scoreboard.clear()
+        # On timeout the strategy remembers half the flight as the
+        # slow-start threshold and collapses the window; the pump then
+        # resends exactly one segment now and recovery proceeds as ACKs
+        # return, instead of dumping the whole window into a slow link.
         flight = self.snd_max - self.snd_una
-        self.ssthresh = max(flight // 2, DEFAULT_MSS)
-        self.cwnd = DEFAULT_MSS
+        self.cc.on_timeout(flight, self.sim.now)
+        self._set_cc_gauges()
         self.sim.trace.emit("tcp", "retransmit", conn=self._describe(),
                             snd_una=self.snd_una, attempt=self._retransmit_count)
         if self.state == TCPState.SYN_SENT:
@@ -390,7 +559,7 @@ class TCPConnection:
             self.state = TCPState.ESTABLISHED
             self._established()
         if FLAG_ACK in segment.flags:
-            self._process_ack(segment.ack)
+            self._process_ack(segment)
         if FLAG_SYN in segment.flags and self.state == TCPState.ESTABLISHED:
             # Peer retransmitted SYN+ACK (our ACK was lost): re-ACK it.
             self._send_ack()
@@ -420,12 +589,24 @@ class TCPConnection:
             callback, self.on_established = self.on_established, None
             callback()
 
-    def _process_ack(self, ack: int) -> None:
+    # ------------------------------------------------------------- ACK intake
+
+    def _process_ack(self, segment: TCPSegment) -> None:
+        ack = segment.ack
+        if self._scoreboard is not None and segment.sack:
+            self._service.sack_blocks_counter().inc(len(segment.sack))
+            self._scoreboard.record(segment.sack, self.snd_una)
         if ack <= self.snd_una or ack > self.snd_max:
             if ack == self.snd_una and self.snd_max > self.snd_una:
                 # An ACK that advances nothing while data is in flight.
                 self._service.dup_ack_counter.value += 1
+                if (self.cc.supports_fast_retransmit
+                        and segment.payload.size_bytes == 0
+                        and FLAG_SYN not in segment.flags
+                        and FLAG_FIN not in segment.flags):
+                    self._on_dup_ack()
             return
+        acked = ack - self.snd_una
         if self._timing_seq is not None and ack > self._timing_seq:
             self._update_rtt(self.sim.now - self._timing_sent_at)
             self._timing_seq = None
@@ -433,13 +614,22 @@ class TCPConnection:
         if self.snd_nxt < ack:
             self.snd_nxt = ack  # a late ACK can outrun a rewound send point
         self._retransmit_count = 0
-        # Congestion window growth: slow start below ssthresh (one MSS per
-        # ACK), additive increase above it.
-        if self.cwnd < self.ssthresh:
-            self.cwnd += DEFAULT_MSS
+        if self._scoreboard is not None:
+            self._scoreboard.advance(ack)
+        if self._in_recovery:
+            if ack >= self._recover:
+                # Full ACK: everything outstanding at recovery entry is in.
+                self._in_recovery = False
+                self._dupacks = 0
+                self.cc.on_exit_recovery(self.sim.now)
+                self._set_cc_gauges()
+            else:
+                # Partial ACK (RFC 6582): repair the next hole, deflate.
+                self.cc.on_partial_ack(acked, self.sim.now)
+                self._retransmit_hole()
         else:
-            self.cwnd += max(DEFAULT_MSS * DEFAULT_MSS // self.cwnd, 1)
-        self.cwnd = min(self.cwnd, DEFAULT_WINDOW_BYTES)
+            self._dupacks = 0
+            self.cc.on_ack(acked, self.sim.now, self._rto_est.srtt)
         self._trim_send_buffer()
         if self.snd_una >= self.snd_max:
             self._cancel_retransmit()
@@ -447,6 +637,77 @@ class TCPConnection:
         else:
             self._arm_retransmit()
         self._pump()
+
+    # ------------------------------------------------- fast retransmit (Reno+)
+
+    def _on_dup_ack(self) -> None:
+        if self.state not in _DATA_STATES:
+            return
+        self._dupacks += 1
+        if self._in_recovery:
+            self.cc.on_dup_ack_in_recovery(self.sim.now)
+            if self._scoreboard is not None:
+                self._retransmit_hole()
+            self._pump()  # the inflated window may admit new data
+        elif self._dupacks >= DUP_ACK_THRESHOLD:
+            self._enter_fast_recovery()
+
+    def _enter_fast_recovery(self) -> None:
+        self._in_recovery = True
+        self._recover = self.snd_max
+        self._rexmit_cursor = self.snd_una
+        flight = self.snd_max - self.snd_una
+        self.cc.on_enter_recovery(flight, self.sim.now)
+        self._timing_seq = None  # Karn: the retransmission is never timed
+        self.fast_retransmits += 1
+        self._service.fast_retransmits_counter().inc()
+        self.sim.trace.emit("tcp", "fast_retransmit", conn=self._describe(),
+                            snd_una=self.snd_una)
+        self._set_cc_gauges()
+        self._retransmit_hole()
+        self._arm_retransmit()  # restart the RTO for the retransmission
+
+    def _retransmit_hole(self) -> None:
+        """Retransmit one segment covering the oldest unrepaired hole."""
+        if self._scoreboard is not None:
+            hole = self._scoreboard.first_hole(
+                max(self.snd_una, self._rexmit_cursor), self.snd_max)
+            if hole is None:
+                return
+            target = hole[0]
+        else:
+            target = self.snd_una
+            if self._rexmit_cursor > target:
+                return  # this hole was already retransmitted this recovery
+        base = self.iss + 1
+        for item in self._send_buffer:
+            seq = base + item.offset
+            end = seq + (1 if item.fin else item.data.size_bytes)
+            if end <= target:
+                continue
+            if (self._scoreboard is not None
+                    and self._scoreboard.is_sacked(seq, end)):
+                continue  # never resend what the receiver reported holding
+            self.segments_retransmitted += 1
+            self._service.retransmits_counter.value += 1
+            if self._scoreboard is not None:
+                self._service.sack_retransmits_counter().inc()
+            if item.fin:
+                self._emit(flags=frozenset({FLAG_FIN, FLAG_ACK}), seq=seq)
+            else:
+                self._emit(flags=frozenset({FLAG_ACK}), seq=seq,
+                           payload=item.data)
+            self._rexmit_cursor = end
+            return
+
+    def _set_cc_gauges(self) -> None:
+        """Record the window trajectory (lazy: keys appear on first event)."""
+        metrics = self.sim.metrics
+        host = self._service.host.name
+        metrics.gauge("tcp", "cwnd_bytes", host=host).set(self.cc.cwnd)
+        metrics.gauge("tcp", "ssthresh_bytes", host=host).set(self.cc.ssthresh)
+
+    # ----------------------------------------------------------- data intake
 
     def _trim_send_buffer(self) -> None:
         base = self.iss + 1
@@ -468,18 +729,36 @@ class TCPConnection:
         if length == 0 and not has_fin:
             return
         if segment.seq != self.rcv_nxt:
-            # Out of order or duplicate: re-ACK what we have (go-back-N).
+            if self._reassembly is not None and segment.seq > self.rcv_nxt:
+                # SACK: hold the out-of-order segment and advertise it.
+                self._reassembly.store(segment.seq, segment)
+            # Duplicate or out of order: re-ACK what we have (the ACK
+            # carries SACK blocks when the knob is on; plain go-back-N
+            # otherwise).
             self._send_ack()
             return
+        self._deliver(segment)
+        if self._reassembly is not None:
+            self._reassembly.drop_below(self.rcv_nxt)
+            while True:
+                queued = self._reassembly.pop(self.rcv_nxt)
+                if queued is None:
+                    break
+                self._deliver(queued)
+                self._reassembly.drop_below(self.rcv_nxt)
+        self._send_ack()
+
+    def _deliver(self, segment: TCPSegment) -> None:
+        """Consume one in-order segment (payload and/or FIN)."""
+        length = segment.payload.size_bytes
         if length > 0:
             self.rcv_nxt += length
             self.bytes_received += length
             if self.on_data is not None:
                 self.on_data(segment.payload)
-        if has_fin:
+        if FLAG_FIN in segment.flags:
             self.rcv_nxt += 1
             self._handle_fin()
-        self._send_ack()
 
     def _handle_fin(self) -> None:
         if self.state == TCPState.ESTABLISHED:
@@ -553,6 +832,26 @@ class TCPService:
         self.dup_ack_counter = sim.metrics.counter(
             "tcp", "dup_acks", host=host.name)
 
+    # ------------------------------------------------------------ lazy metrics
+    # Created on first touch (like repro.faults' injected counters) so
+    # default Tahoe/no-SACK runs leave snapshots byte-identical to the
+    # pre-seam build.
+
+    def fast_retransmits_counter(self):
+        """Counter of fast-retransmit (3-dup-ACK) recoveries entered."""
+        return self.sim.metrics.counter("tcp", "fast_retransmits",
+                                        host=self.host.name)
+
+    def sack_blocks_counter(self):
+        """Counter of SACK blocks received and recorded."""
+        return self.sim.metrics.counter("tcp", "sack_blocks_received",
+                                        host=self.host.name)
+
+    def sack_retransmits_counter(self):
+        """Counter of scoreboard-driven hole retransmissions."""
+        return self.sim.metrics.counter("tcp", "sack_retransmits",
+                                        host=self.host.name)
+
     # ------------------------------------------------------------- public API
 
     def listen(self, port: int,
@@ -566,12 +865,16 @@ class TCPService:
 
     def connect(self, remote_addr: IPAddress, remote_port: int,
                 src: IPAddress = UNSPECIFIED,
-                local_port: int = 0) -> TCPConnection:
+                local_port: int = 0, *,
+                congestion_control: Optional[str] = None,
+                initial_cwnd: Optional[int] = None,
+                initial_ssthresh: Optional[int] = None) -> TCPConnection:
         """Open a connection; callbacks are set on the returned object.
 
         An unspecified ``src`` lets ``ip_rt_route()`` choose — on a mobile
         host that pins the connection to the home address, which is exactly
-        why it survives later moves.
+        why it survives later moves.  ``congestion_control`` overrides
+        ``Config.tcp_congestion_control`` for this connection only.
         """
         if local_port == 0:
             local_port = self._allocate_ephemeral(remote_addr, remote_port)
@@ -581,7 +884,10 @@ class TCPService:
             if route is None:
                 raise TCPError(f"no route to {remote_addr}")
             source = route.source
-        conn = TCPConnection(self, source, local_port, remote_addr, remote_port)
+        conn = TCPConnection(self, source, local_port, remote_addr, remote_port,
+                             congestion_control=congestion_control,
+                             initial_cwnd=initial_cwnd,
+                             initial_ssthresh=initial_ssthresh)
         key = conn.key
         if key in self._connections:
             raise TCPError(f"connection {key} already exists")

@@ -25,9 +25,9 @@ class Lan:
     helper ``lan.host(addr)`` adds more hosts.
     """
 
-    def __init__(self, sim: Simulator) -> None:
+    def __init__(self, sim: Simulator, config=DEFAULT_CONFIG) -> None:
         self.sim = sim
-        self.config = DEFAULT_CONFIG
+        self.config = config
         self.net = subnet("10.0.0.0/24")
         self.macs = MACAllocator()
         self.segment = EthernetSegment(sim, "lan", self.config.ethernet)

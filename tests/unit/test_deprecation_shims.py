@@ -89,6 +89,46 @@ class TestMobileHostShim:
         assert mobile.policy.default_mode is RoutingMode.TRIANGLE
 
 
+class TestTCPConnectionShim:
+    def make_conn(self, lan, *shim_args, **kwargs):
+        from repro.net.tcp import TCPConnection
+
+        return TCPConnection(lan.a.tcp, ip("10.0.0.1"), 40000,
+                             ip("10.0.0.2"), 23, *shim_args, **kwargs)
+
+    def test_positional_tuning_warns_once_and_lands(self, lan):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            conn = self.make_conn(lan, 2048, 3072)
+        assert_single_deprecation(caught, "TCPConnection")
+        assert conn.cwnd == 2048
+        assert conn.ssthresh == 3072
+
+    def test_keyword_wins_over_shim(self, lan):
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            conn = self.make_conn(lan, 2048, initial_cwnd=1024)
+        assert conn.cwnd == 1024
+
+    def test_keyword_form_does_not_warn(self, lan):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            conn = self.make_conn(lan, initial_cwnd=2048,
+                                  initial_ssthresh=3072,
+                                  congestion_control="reno")
+        assert [w for w in caught
+                if issubclass(w.category, DeprecationWarning)] == []
+        assert conn.cwnd == 2048
+        assert conn.ssthresh == 3072
+        assert conn.cc.name == "reno"
+
+    def test_too_many_positionals_rejected(self, lan):
+        with pytest.raises(TypeError):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                self.make_conn(lan, 2048, 3072, 99)
+
+
 class TestConnectivityManagerShim:
     @pytest.fixture
     def mobile(self, testbed):
