@@ -157,7 +157,8 @@ class Scenario:
             raise RuntimeError("a Scenario can only run once; build a new one")
         self._ran = True
         sim = Simulator(seed=self.seed,
-                        scheduler=self.config.engine_scheduler)
+                        scheduler=self.config.engine_scheduler,
+                        pooling=self.config.engine_pooling)
         testbed: Optional[Testbed] = None
         if self._testbed_kwargs is not None:
             testbed = build_testbed(sim, config=self.config,

@@ -11,10 +11,13 @@ Runs the engine benchmark, the datapath benchmarks, the same-seed
 determinism guard, the TCP congestion-control comparison, and the
 serial-vs-parallel experiment-suite bench, then writes
 ``BENCH_engine.json``, ``BENCH_datapath.json``, ``BENCH_tcp.json`` and
-``BENCH_parallel.json``.  The exit status reflects *correctness only*:
-0 unless a determinism check fails (the guard, or serial/parallel report
-divergence).  Speed numbers are reported, never gated on — wall time
-belongs to the machine, identity belongs to us.
+``BENCH_parallel.json``.  The exit status reflects correctness plus one
+relative-speed floor: it is non-zero if a determinism check fails (the
+guard, TCP reruns, or serial/parallel report divergence), if the engine
+speedup vs the in-process baseline replica falls below ``--min-speedup``
+(default 2.5x; 0 disables), or if a BENCH file cannot be written.
+Absolute wall times stay advisory — they belong to the machine; the
+ratio and identity belong to us.
 """
 
 from __future__ import annotations
@@ -32,7 +35,17 @@ from repro.bench.tcp_bench import run_tcp_bench
 
 
 def _write(path: Path, doc: dict) -> None:
-    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    """Write one BENCH document; a failed write is a failed run.
+
+    CI diffs these files against the committed ones, so silently carrying
+    on after an unwritable --out directory would upload stale results.
+    """
+    try:
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    except OSError as exc:
+        print(f"error: failed to write benchmark output {path}: {exc}",
+              file=sys.stderr)
+        raise SystemExit(1)
     print(f"wrote {path}")
 
 
@@ -46,6 +59,11 @@ def main(argv: list) -> int:
     parser.add_argument("--jobs", type=int, default=4, metavar="N",
                         help="worker processes for the parallel bench "
                              "(0 = one per CPU; default 4)")
+    parser.add_argument("--min-speedup", type=float, default=2.5,
+                        metavar="X",
+                        help="fail unless the best engine speedup vs the "
+                             "baseline replica is at least X (0 disables; "
+                             "default 2.5)")
     args = parser.parse_args(argv)
     args.out.mkdir(parents=True, exist_ok=True)
 
@@ -53,8 +71,10 @@ def main(argv: list) -> int:
     engine = run_engine_bench(quick=args.quick)
     speedups = engine["speedup_vs_baseline"]
     print(f"baseline replica : {engine['baseline']['ns_per_event']:8.1f} ns/event")
-    print(f"heap scheduler   : {engine['heap']['ns_per_event']:8.1f} ns/event "
+    print(f"heap (pooled)    : {engine['heap']['ns_per_event']:8.1f} ns/event "
           f"({speedups['heap']:.2f}x)")
+    print(f"heap (unpooled)  : {engine['heap_unpooled']['ns_per_event']:8.1f} ns/event "
+          f"({speedups['heap_unpooled']:.2f}x)")
     print(f"timer wheel      : {engine['wheel']['ns_per_event']:8.1f} ns/event "
           f"({speedups['wheel']:.2f}x)")
 
@@ -62,7 +82,8 @@ def main(argv: list) -> int:
     datapath = run_datapath_bench(quick=args.quick)
     packets = datapath["packet_construction"]
     print(f"packet build     : {packets['current_ns_per_packet']:8.1f} ns/packet "
-          f"({packets['speedup']:.2f}x vs dataclasses)")
+          f"({packets['speedup']:.2f}x vs dataclasses, "
+          f"{packets['pooled_speedup']:.2f}x pooled)")
     policy = datapath["policy_lookup"]
     print(f"policy lookup    : {policy['cached_ns_per_lookup']:8.1f} ns cached "
           f"({policy['speedup']:.2f}x, hit rate {policy['cache_hit_rate']:.3f})")
@@ -105,6 +126,13 @@ def main(argv: list) -> int:
     _write(args.out / "BENCH_parallel.json", parallel)
 
     failed = False
+    if args.min_speedup > 0 and speedups["best"] < args.min_speedup:
+        print(f"engine speedup FAILED: best {speedups['best']:.2f}x is below "
+              f"the {args.min_speedup:.2f}x floor", file=sys.stderr)
+        failed = True
+    else:
+        print(f"engine speedup: best {speedups['best']:.2f}x vs baseline "
+              f"replica (floor {args.min_speedup:.2f}x)")
     if not guard["passed"]:
         print("determinism guard FAILED: fast path changed simulation results",
               file=sys.stderr)

@@ -26,7 +26,7 @@ from repro.bench.baseline import (
 from repro.config import DEFAULT_CONFIG
 from repro.core.policy import MobilePolicyTable, RoutingMode
 from repro.net.addressing import IPAddress, Subnet
-from repro.net.packet import PROTO_UDP, AppData, IPPacket, UDPDatagram
+from repro.net.packet import PROTO_UDP, AppData, IPPacket, UDPDatagram, release
 from repro.net.routing import RouteEntry, RoutingTable
 from repro.sim.engine import Simulator
 from repro.sim.units import ms, s
@@ -50,6 +50,19 @@ def _build_packets_current(n: int, src: IPAddress, dst: IPAddress) -> None:
                  ident=i).decremented()
 
 
+def _build_packets_pooled(n: int, src: IPAddress, dst: IPAddress) -> None:
+    """The arena-backed cycle: acquire, use, release (the datapath's life)."""
+    for i in range(n):
+        payload = AppData.acquire(i, 512)
+        datagram = UDPDatagram.acquire(7, 7, payload)
+        packet = IPPacket.acquire(src, dst, PROTO_UDP, datagram, ident=i)
+        copy = packet.decremented()
+        release(copy, held=1)
+        release(packet, held=1)
+        release(datagram, held=1)
+        release(payload, held=1)
+
+
 def _build_packets_baseline(n: int, src: IPAddress, dst: IPAddress) -> None:
     for i in range(n):
         payload = BaselineAppData(content=i, size_bytes=512)
@@ -64,13 +77,17 @@ def _packet_bench(n: int) -> Dict[str, object]:
     dst = IPAddress.parse("36.8.0.20")
     _build_packets_baseline(2_000, src, dst)   # warm-up
     _build_packets_current(2_000, src, dst)
+    _build_packets_pooled(2_000, src, dst)
     baseline_ns = _time_ns(_build_packets_baseline, n, src, dst)
     current_ns = _time_ns(_build_packets_current, n, src, dst)
+    pooled_ns = _time_ns(_build_packets_pooled, n, src, dst)
     return {
         "n_packets": n,
         "baseline_ns_per_packet": baseline_ns / n,
         "current_ns_per_packet": current_ns / n,
+        "pooled_ns_per_packet": pooled_ns / n,
         "speedup": baseline_ns / current_ns,
+        "pooled_speedup": baseline_ns / pooled_ns,
     }
 
 
@@ -207,7 +224,7 @@ def _trace_bench(n: int) -> Dict[str, object]:
 
 def run_scenario(seed: int = 0, scheduler: str = "heap",
                  policy_cache: int = 128, route_cache: int = 256,
-                 duration_ns: int = s(6)) -> Simulator:
+                 pooling: bool = True, duration_ns: int = s(6)) -> Simulator:
     """The standard benchmark/guard scenario, returned for inspection.
 
     Figure-5 testbed, a 20 ms UDP echo stream from the mobile host to the
@@ -220,8 +237,9 @@ def run_scenario(seed: int = 0, scheduler: str = "heap",
         engine_scheduler=scheduler,
         policy_cache_size=policy_cache,
         route_cache_size=route_cache,
+        engine_pooling=pooling,
     )
-    sim = Simulator(seed=seed, scheduler=scheduler)
+    sim = Simulator(seed=seed, scheduler=scheduler, pooling=pooling)
     testbed = build_testbed(sim, config, with_remote_correspondent=False,
                             with_dhcp=False)
     UdpEchoResponder(testbed.correspondent)

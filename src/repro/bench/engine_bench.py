@@ -30,27 +30,34 @@ def _run_workload(sim, n_events: int) -> Dict[str, object]:
     """Drive *sim* through the standard workload; returns measurements.
 
     *sim* needs the engine API subset: ``call_at``/``call_later`` (whose
-    return value has ``cancel()``), ``run()``, ``events_run``.
+    return value has ``cancel()``), ``run()``, ``events_run``.  Engines
+    offering the fire-and-forget ``post_at``/``post_later`` (which the
+    real datapath now uses) get them; the baseline replica falls back to
+    ``call_at``/``call_later``, so every contender dispatches the exact
+    same logical event sequence.
     """
+    post_later = getattr(sim, "post_later", None) or sim.call_later
+    post_at = getattr(sim, "post_at", None) or sim.call_at
     state = {"count": 0}
 
     def tick() -> None:
         count = state["count"] = state["count"] + 1
         if count >= n_events:
             return
-        sim.call_later(1_000 + (count % 7) * 37, tick, "bench-tick")
+        post_later(1_000 + (count % 7) * 37, tick, "bench-tick")
         if count % 50 == 0:
             # A timer that never fires: armed, then immediately cancelled
-            # (the fate of most retransmission timers).
+            # (the fate of most retransmission timers).  Cancellation needs
+            # a handle, so this stays on call_later for every engine.
             sim.call_later(500_000, _noop, "bench-cancelled").cancel()
         if count % 97 == 0:
             # A burst: BURST events sharing one future timestamp.
             when = sim.now + 4_096
             for _ in range(BURST):
-                sim.call_at(when, _noop, "bench-burst")
+                post_at(when, _noop, "bench-burst")
 
     for chain in range(CHAINS):
-        sim.call_later(chain * 11, tick, "bench-tick")
+        post_later(chain * 11, tick, "bench-tick")
 
     wall_start = _wallclock.perf_counter_ns()
     sim.run()
@@ -74,22 +81,26 @@ def run_engine_bench(quick: bool = False) -> Dict[str, object]:
     """
     n_events = 40_000 if quick else 200_000
 
-    # Warm-up: populate type caches and counter dicts outside the timed
-    # region, identically for every contender.
+    # Warm-up: populate type caches, counter dicts and event pools outside
+    # the timed region, identically for every contender.
     _run_workload(BaselineSimulator(), 2_000)
     _run_workload(Simulator(scheduler="heap"), 2_000)
+    _run_workload(Simulator(scheduler="heap", pooling=False), 2_000)
     _run_workload(Simulator(scheduler="wheel"), 2_000)
 
     baseline = _run_workload(BaselineSimulator(), n_events)
     heap = _run_workload(Simulator(scheduler="heap"), n_events)
+    heap_unpooled = _run_workload(
+        Simulator(scheduler="heap", pooling=False), n_events)
     wheel = _run_workload(Simulator(scheduler="wheel"), n_events)
 
-    if heap["events_run"] != baseline["events_run"] \
-            or wheel["events_run"] != baseline["events_run"]:
-        raise AssertionError(
-            "engine benchmark dispatched different event counts: "
-            f"baseline={baseline['events_run']} heap={heap['events_run']} "
-            f"wheel={wheel['events_run']}")
+    for name, contender in (("heap", heap), ("heap_unpooled", heap_unpooled),
+                            ("wheel", wheel)):
+        if contender["events_run"] != baseline["events_run"]:
+            raise AssertionError(
+                "engine benchmark dispatched different event counts: "
+                f"baseline={baseline['events_run']} "
+                f"{name}={contender['events_run']}")
 
     best = min(heap["ns_per_event"], wheel["ns_per_event"])
     return {
@@ -102,9 +113,12 @@ def run_engine_bench(quick: bool = False) -> Dict[str, object]:
         },
         "baseline": baseline,
         "heap": heap,
+        "heap_unpooled": heap_unpooled,
         "wheel": wheel,
         "speedup_vs_baseline": {
             "heap": baseline["ns_per_event"] / heap["ns_per_event"],
+            "heap_unpooled":
+                baseline["ns_per_event"] / heap_unpooled["ns_per_event"],
             "wheel": baseline["ns_per_event"] / wheel["ns_per_event"],
             "best": baseline["ns_per_event"] / best,
         },

@@ -2,9 +2,10 @@
 
 An optimisation that changes *results* is a bug wearing a speedup's
 clothes.  This guard re-runs one seeded scenario under every fast-path
-configuration — caches on and off, heap and timer-wheel scheduler — and
-asserts the metric snapshots serialize byte-identically once the
-documented cache-diagnostic counters are stripped.
+configuration — event/packet pooling on and off, caches on and off, heap
+and timer-wheel scheduler — and asserts the metric snapshots serialize
+byte-identically once the documented cache-diagnostic counters are
+stripped.
 
 The stripped keys are exactly the ``policy/lookup_cache`` counters: they
 exist *because* the cache does, so they legitimately differ when the cache
@@ -22,12 +23,17 @@ from repro.bench.datapath_bench import run_scenario
 #: Snapshot-key prefix of the cache diagnostics the guard ignores.
 CACHE_METRIC_PREFIX = "policy/lookup_cache"
 
-#: (name, scheduler, policy_cache_size, route_cache_size) per configuration.
+#: (name, scheduler, policy_cache_size, route_cache_size, pooling) per
+#: configuration: the full pooled/unpooled x heap/wheel x caches-on/off cube.
 GUARD_CONFIGS = [
-    ("fast-path-on-heap", "heap", 128, 256),
-    ("fast-path-on-wheel", "wheel", 128, 256),
-    ("fast-path-off-heap", "heap", 0, 0),
-    ("fast-path-off-wheel", "wheel", 0, 0),
+    ("pooled-caches-heap", "heap", 128, 256, True),
+    ("pooled-caches-wheel", "wheel", 128, 256, True),
+    ("pooled-nocache-heap", "heap", 0, 0, True),
+    ("pooled-nocache-wheel", "wheel", 0, 0, True),
+    ("unpooled-caches-heap", "heap", 128, 256, False),
+    ("unpooled-caches-wheel", "wheel", 128, 256, False),
+    ("unpooled-nocache-heap", "heap", 0, 0, False),
+    ("unpooled-nocache-wheel", "wheel", 0, 0, False),
 ]
 
 
@@ -50,10 +56,11 @@ def run_determinism_guard(seed: int = 0) -> Dict[str, object]:
     """
     runs: List[Dict[str, object]] = []
     reference_json = None
-    for name, scheduler, policy_cache, route_cache in GUARD_CONFIGS:
+    for name, scheduler, policy_cache, route_cache, pooling in GUARD_CONFIGS:
         sim = run_scenario(seed=seed, scheduler=scheduler,
                            policy_cache=policy_cache,
-                           route_cache=route_cache)
+                           route_cache=route_cache,
+                           pooling=pooling)
         snapshot = strip_cache_metrics(sim.metrics.snapshot())
         blob = canonical_json(snapshot)
         if reference_json is None:
@@ -63,6 +70,7 @@ def run_determinism_guard(seed: int = 0) -> Dict[str, object]:
             "scheduler": scheduler,
             "policy_cache_size": policy_cache,
             "route_cache_size": route_cache,
+            "pooling": pooling,
             "snapshot_bytes": len(blob),
             "matches_reference": blob == reference_json,
             "events_run": sim.events_run,

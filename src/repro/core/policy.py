@@ -109,6 +109,13 @@ class MobilePolicyTable:
         # handoffs — clears it wholesale; correctness never depends on it.
         self._cache_size = cache_size
         self._cache: "OrderedDict[IPAddress, Tuple[Optional[PolicyEntry], RoutingMode]]" = OrderedDict()
+        # One-entry inline cache in front of the LRU: a burst of packets to
+        # one correspondent repeats the same policy lookup, and a single
+        # address comparison beats the OrderedDict probe.  A hot hit records
+        # exactly the counters an LRU hit would; every invalidation clears
+        # it together with the LRU.
+        self._hot_dst: Optional[IPAddress] = None
+        self._hot_cached: Optional[Tuple[Optional[PolicyEntry], RoutingMode]] = None
         # A table built without a registry (bare tables in tests) records
         # into a private one, keeping the lookup path branch-free.
         self._metrics = metrics if metrics is not None else MetricsRegistry()
@@ -145,11 +152,13 @@ class MobilePolicyTable:
     @default_mode.setter
     def default_mode(self, mode: RoutingMode) -> None:
         self._default_mode = mode
-        self._cache.clear()
+        self.invalidate_cache()
 
     def invalidate_cache(self) -> None:
         """Drop every memoized lookup (any mutation calls this)."""
         self._cache.clear()
+        self._hot_dst = None
+        self._hot_cached = None
 
     def set_policy(self, destination: Union[Subnet, IPAddress],
                    mode: RoutingMode, origin: str = "static") -> PolicyEntry:
@@ -160,7 +169,7 @@ class MobilePolicyTable:
                          if entry.destination != prefix]
         entry = PolicyEntry(destination=prefix, mode=mode, origin=origin)
         self._entries.append(entry)
-        self._cache.clear()
+        self.invalidate_cache()
         return entry
 
     def clear_policy(self, destination: Union[Subnet, IPAddress]) -> None:
@@ -169,7 +178,7 @@ class MobilePolicyTable:
             else Subnet(destination, 32)
         self._entries = [entry for entry in self._entries
                          if entry.destination != prefix]
-        self._cache.clear()
+        self.invalidate_cache()
 
     def lookup_entry(self, dst: IPAddress) -> Optional[PolicyEntry]:
         """The most specific entry covering *dst*, if any."""
@@ -189,10 +198,20 @@ class MobilePolicyTable:
         so the metrics snapshot is identical with the cache on or off
         (only the diagnostic ``policy/lookup_cache`` counters differ).
         """
+        if dst == self._hot_dst:
+            entry, mode = self._hot_cached
+            self._cache_hit_counter.value += 1
+            if entry is not None:
+                self._lookup_counters[(mode, "hit")].value += 1
+            else:
+                self._lookup_counters[(mode, "miss")].value += 1
+            return mode
         cache = self._cache
         cached = cache.get(dst)
         if cached is not None:
             cache.move_to_end(dst)
+            self._hot_dst = dst
+            self._hot_cached = cached
             self._cache_hit_counter.value += 1
             entry, mode = cached
             if entry is not None:
@@ -212,6 +231,8 @@ class MobilePolicyTable:
             cache[dst] = (entry, mode)
             if len(cache) > self._cache_size:
                 cache.popitem(last=False)
+            self._hot_dst = dst
+            self._hot_cached = (entry, mode)
         return mode
 
     # --------------------------------------------------------- dynamic updates
@@ -224,7 +245,7 @@ class MobilePolicyTable:
         A successful probe removes a previous dynamic fallback.
         """
         entry = self.lookup_entry(dst)
-        self._cache.clear()
+        self.invalidate_cache()
         if not reachable:
             self._probe_fallback_counter.value += 1
             self.set_policy(dst, RoutingMode.TUNNEL, origin="probe")

@@ -31,6 +31,7 @@ from repro.config import Config, DEFAULT_CONFIG
 from repro.net.addressing import IPAddress
 from repro.net.interface import InterfaceState, NetworkInterface
 from repro.net.packet import PROTO_IPIP, IPPacket, encapsulate, encapsulation_depth
+from repro.sim.arena import release
 from repro.sim.engine import Simulator
 from repro.sim.fifo import FifoDelay
 from repro.sim.randomness import jittered
@@ -141,10 +142,16 @@ class IPIPModule:
         # packet did not arrive on that LAN, so link-scoped reactions to it
         # (notably ICMP redirects back at a reverse-tunneling mobile host —
         # the Section 5.2 hazard) must not fire.
-        self._fifo.schedule(
+        self._fifo.post(
             cost,
-            lambda: self.host.ip.receive_packet(inner, self.host.loopback),
+            lambda: self._reinject(inner, outer),
             label=f"ipip-decap:{self.host.name}")
+
+    def _reinject(self, inner: IPPacket, outer: IPPacket) -> None:
+        self.host.ip.receive_packet(inner, self.host.loopback)
+        # The outer wrapper is dead once the inner packet has re-entered IP;
+        # held=2 covers this frame's parameter plus the decap closure cell.
+        release(outer, held=2)
 
 
 def install_tunnel(host: "Host", name: str = "vif") -> VirtualInterface:

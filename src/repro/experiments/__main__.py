@@ -19,6 +19,13 @@ processes; reports are byte-identical to ``--jobs 1`` (seeds are
 addressed by trial, not by worker).  ``--jobs 0`` uses one worker per
 CPU.
 
+``--profile`` prints an aggregated :meth:`Simulator.profile` after each
+experiment's report: dispatch counts by label, queue high-water mark,
+event-pool and packet-arena hit rates, simulated-vs-wall throughput.
+Like ``--metrics`` it sees simulators built in this process; with
+``--jobs > 1`` the trials that ran in workers contribute reports but not
+profiles.
+
 ``--metrics`` captures every simulator an experiment builds — including
 those built in worker processes, whose registries are merged back — and
 prints the combined :mod:`repro.obs` registry after its report:
@@ -31,6 +38,7 @@ they cover only trials that ran in-process.)
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.obs import (
@@ -97,12 +105,66 @@ def _parser() -> argparse.ArgumentParser:
                              "are identical at any value)")
     parser.add_argument("--metrics", action="store_true",
                         help="print merged metrics registries per experiment")
+    parser.add_argument("--profile", action="store_true",
+                        help="print the aggregated engine profile (dispatch "
+                             "counts, queue high-water, pool hit rates) "
+                             "after each experiment")
     parser.add_argument("--figures", action="store_true",
                         help="render ASCII figures 6 and 7 instead")
     return parser
 
 
+def aggregate_profiles(profiles: list) -> dict:
+    """Fold per-simulator :meth:`Simulator.profile` dicts into one view.
+
+    Monotonic quantities (events, wall time, pool reuses, dispatch counts)
+    sum; the queue high-water is the max across simulators; the pool hit
+    rate is recomputed from the summed totals.  ``packet_arenas`` is
+    process-global, so the last profile's view is the current one.
+    """
+    total: dict = {
+        "simulators": len(profiles),
+        "events_run": 0,
+        "sim_time_ns": 0,
+        "wall_time_ns": 0,
+        "queue_depth_max": 0,
+        "dispatched_by_label": {},
+        "event_pool": {"reuses": 0, "free": 0},
+        "packet_arenas": {},
+    }
+    dispatched = total["dispatched_by_label"]
+    for profile in profiles:
+        total["events_run"] += profile["events_run"]
+        total["sim_time_ns"] += profile["sim_time_ns"]
+        total["wall_time_ns"] += profile["wall_time_ns"]
+        total["queue_depth_max"] = max(total["queue_depth_max"],
+                                       profile["queue_depth_max"])
+        for label, count in profile["dispatched_by_label"].items():
+            dispatched[label] = dispatched.get(label, 0) + count
+        pool = profile["event_pool"]
+        total["event_pool"]["reuses"] += pool["reuses"]
+        total["event_pool"]["free"] += pool["free"]
+        total["packet_arenas"] = profile["packet_arenas"]
+    events = total["events_run"]
+    total["event_pool"]["hit_rate"] = (
+        total["event_pool"]["reuses"] / events if events else 0.0)
+    wall = total["wall_time_ns"]
+    total["sim_to_wall_ratio"] = (total["sim_time_ns"] / wall) if wall else None
+    total["dispatched_by_label"] = dict(sorted(dispatched.items()))
+    return total
+
+
 def main(argv: list) -> int:
+    try:
+        return _run(argv)
+    except OSError as exc:
+        # A full disk or closed pipe under shell redirection must not look
+        # like a successful run to CI.
+        print(f"error: failed to write report output: {exc}", file=sys.stderr)
+        return 1
+
+
+def _run(argv: list) -> int:
     args = _parser().parse_args(argv)
     if args.jobs < 0:
         print(f"--jobs must be >= 0, got {args.jobs}", file=sys.stderr)
@@ -113,7 +175,7 @@ def main(argv: list) -> int:
         print(render_figure7(run_registration_experiment(jobs=args.jobs)))
         print()
         print(render_figure6(run_device_switch_experiment(jobs=args.jobs)))
-        return 0
+        return _flush_stdout()
     requested = [name.lower() for name in args.ids] or list(RUNNERS)
     unknown = [name for name in requested if name not in RUNNERS]
     if unknown:
@@ -124,19 +186,33 @@ def main(argv: list) -> int:
         title, runner = RUNNERS[name]
         banner = f"=== {name}: {title} ==="
         print(banner)
-        if args.metrics:
+        if args.metrics or args.profile:
             with capture_simulators() as captured, \
                     capture_policy_tables() as tables:
                 report = runner(args.jobs)
             print(report)
-            print()
-            print(format_reports((sim.metrics for sim in captured),
-                                 title=f"{name} metrics"))
-            if tables:
-                print(format_policy_tables(tables))
+            if args.metrics:
+                print()
+                print(format_reports((sim.metrics for sim in captured),
+                                     title=f"{name} metrics"))
+                if tables:
+                    print(format_policy_tables(tables))
+            if args.profile:
+                print()
+                print(f"--- {name} engine profile "
+                      f"({len(captured)} simulators) ---")
+                print(json.dumps(
+                    aggregate_profiles([sim.profile() for sim in captured]),
+                    indent=2, sort_keys=True))
         else:
             print(runner(args.jobs))
         print()
+    return _flush_stdout()
+
+
+def _flush_stdout() -> int:
+    """Force buffered report text out while we can still report failure."""
+    sys.stdout.flush()
     return 0
 
 

@@ -132,8 +132,8 @@ class ICMPService:
         packet = IPPacket(src=source, dst=dst, protocol=PROTO_ICMP,
                           payload=message, ttl=self.config.default_ttl)
         delay = jittered(self._rng, self.timings.tx_cost, self.config.jitter)
-        self._tx_fifo.schedule(delay, lambda: self.host.ip.send(packet),
-                               label=f"icmp-tx:{self.host.name}")
+        self._tx_fifo.post(delay, lambda: self.host.ip.send(packet),
+                           label=f"icmp-tx:{self.host.name}")
 
     # ----------------------------------------------------------------- errors
 
@@ -170,8 +170,8 @@ class ICMPService:
         message = packet.payload
         assert isinstance(message, ICMPMessage)
         delay = jittered(self._rng, self.timings.rx_cost, self.config.jitter)
-        self._rx_fifo.schedule(delay, lambda: self._process(packet, message, iface),
-                               label=f"icmp-rx:{self.host.name}")
+        self._rx_fifo.post(delay, lambda: self._process(packet, message, iface),
+                           label=f"icmp-rx:{self.host.name}")
 
     def _process(self, packet: IPPacket, message: ICMPMessage,
                  iface: "NetworkInterface") -> None:

@@ -414,7 +414,7 @@ class RadioInterface(NetworkInterface):
             raise InterfaceError(f"{self.name} has no channel")
         self._count_tx()
         deliver_at = self._serial_finish_time(packet.size_bytes, "tx")
-        self.sim.call_at(
+        self.sim.post_at(
             deliver_at,
             lambda: self._radio_transmit(packet, next_hop),
             label=f"serial-tx:{self.name}",
@@ -434,7 +434,7 @@ class RadioInterface(NetworkInterface):
                                 packet=packet.describe())
             return
         deliver_at = self._serial_finish_time(packet.size_bytes, "rx")
-        self.sim.call_at(
+        self.sim.post_at(
             deliver_at,
             lambda: self._deliver_to_host(packet),
             label=f"serial-rx:{self.name}",
@@ -482,5 +482,5 @@ class LoopbackInterface(NetworkInterface):
         if not self._guard_send(packet):
             return
         self._count_tx()
-        self.sim.call_later(0, lambda: self._deliver_to_host(packet),
+        self.sim.post_later(0, lambda: self._deliver_to_host(packet),
                             label=f"lo:{self.name}")

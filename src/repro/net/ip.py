@@ -161,7 +161,7 @@ class IPStack:
             return True
         if packet.dst.is_loopback or self.is_local(packet.dst):
             # Local destinations loop straight back up the stack.
-            self.sim.call_later(0, lambda: self.deliver(packet, self.host.loopback),
+            self.sim.post_later(0, lambda: self.deliver(packet, self.host.loopback),
                                 label=f"ip-local:{self.host.name}")
             return True
         route = self.ip_rt_route(packet.dst, packet.src)
@@ -276,7 +276,7 @@ class IPStack:
         if out_iface is in_iface and route.gateway is not None:
             # Same-interface forwarding: the sender could have gone direct.
             self.host.icmp.maybe_send_redirect(packet, route, in_iface)
-        self._forward_fifo.schedule(
+        self._forward_fifo.post(
             delay,
             lambda: out_iface.send_ip(forwarded, hop),
             label=f"fwd:{self.host.name}",

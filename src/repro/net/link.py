@@ -85,6 +85,11 @@ class Link:
 
     def _drops(self) -> bool:
         hook = self.fault_hook
+        if hook is None and self.timings.loss_rate <= 0:
+            # Branch-free fast path for the common case: no fault plan and a
+            # lossless medium.  ``bernoulli`` consumes no randomness for
+            # p <= 0, so skipping it is RNG-stream neutral.
+            return False
         if hook is not None and hook():
             self.frames_dropped += 1
             self._drop_frames.value += 1
@@ -129,7 +134,7 @@ class EthernetSegment(Link):
         for port in self._ports:
             if port is sender:
                 continue
-            self.sim.call_at(
+            self.sim.post_at(
                 deliver_at,
                 lambda port=port: port.deliver_frame(frame),
                 label=f"eth:{self.name}",
@@ -167,7 +172,7 @@ class PointToPointLink(Link):
         peer = peers[0]
         # Full duplex: each direction has its own transmitter queue.
         deliver_at = self._delivery_time(packet.size_bytes, key=id(sender))
-        self.sim.call_at(
+        self.sim.post_at(
             deliver_at,
             lambda: peer.deliver_from_link(packet),  # type: ignore[attr-defined]
             label=f"p2p:{self.name}",
@@ -221,7 +226,7 @@ class RadioChannel(Link):
             for radio in self._radios:
                 if radio is sender:
                     continue
-                self.sim.call_at(
+                self.sim.post_at(
                     deliver_at,
                     lambda radio=radio: radio.deliver_from_radio(packet),
                     label=f"radio:{self.name}:bcast",
@@ -234,7 +239,7 @@ class RadioChannel(Link):
             self.frames_dropped += 1
             self._drop_frames.value += 1
             return
-        self.sim.call_at(
+        self.sim.post_at(
             deliver_at,
             lambda: target.deliver_from_radio(packet),
             label=f"radio:{self.name}",

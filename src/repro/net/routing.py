@@ -83,6 +83,13 @@ class RoutingTable:
         self._entries: List[RouteEntry] = []
         self._cache_size = cache_size
         self._cache: "OrderedDict[IPAddress, Optional[RouteEntry]]" = OrderedDict()
+        # One-entry inline cache in front of the LRU: forwarding loops hit
+        # the same destination back-to-back, and a single comparison beats
+        # an OrderedDict probe + move_to_end.  Same validation rules as the
+        # LRU (is_up recheck, cleared on every mutation); a hot hit counts
+        # as an ordinary cache hit.
+        self._hot_dst: Optional[IPAddress] = None
+        self._hot_entry: Optional[RouteEntry] = None
         self._cache_hits = 0
         self._cache_misses = 0
 
@@ -95,6 +102,8 @@ class RoutingTable:
     def invalidate_cache(self) -> None:
         """Drop every memoized lookup result."""
         self._cache.clear()
+        self._hot_dst = None
+        self._hot_entry = None
 
     def cache_info(self) -> Dict[str, int]:
         """Lookup-cache diagnostics (perf observability, not simulation
@@ -109,12 +118,12 @@ class RoutingTable:
     def add(self, entry: RouteEntry) -> None:
         """Append an entry (order does not affect lookup)."""
         self._entries.append(entry)
-        self._cache.clear()
+        self.invalidate_cache()
 
     def remove(self, entry: RouteEntry) -> None:
         """Remove exactly this entry object."""
         self._entries.remove(entry)
-        self._cache.clear()
+        self.invalidate_cache()
 
     def remove_matching(self, destination: Optional[Subnet] = None,
                         interface: Optional["NetworkInterface"] = None) -> int:
@@ -130,7 +139,7 @@ class RoutingTable:
                 continue
             removed += 1
         self._entries = keep
-        self._cache.clear()
+        self.invalidate_cache()
         return removed
 
     def add_host_route(self, host_addr: IPAddress, interface: "NetworkInterface",
@@ -162,12 +171,21 @@ class RoutingTable:
         """
         if not require_up:
             return self._scan(dst, False)
+        if dst == self._hot_dst:
+            hot = self._hot_entry
+            if hot is None or hot.interface.is_up:
+                self._cache_hits += 1
+                return hot
+            self._hot_dst = None  # stale: fall through to the LRU recheck
+            self._hot_entry = None
         cache = self._cache
         cached = cache.get(dst, _UNCACHED)
         if cached is not _UNCACHED:
             if cached is None or cached.interface.is_up:
                 self._cache_hits += 1
                 cache.move_to_end(dst)
+                self._hot_dst = dst
+                self._hot_entry = cached
                 return cached
             del cache[dst]  # interface went down under the cached route
         self._cache_misses += 1
@@ -176,6 +194,8 @@ class RoutingTable:
             cache[dst] = best
             if len(cache) > self._cache_size:
                 cache.popitem(last=False)
+            self._hot_dst = dst
+            self._hot_entry = best
         return best
 
     def _scan(self, dst: IPAddress, require_up: bool) -> Optional[RouteEntry]:

@@ -45,6 +45,7 @@ from repro.net.congestion import (
 )
 from repro.net.packet import PROTO_TCP, TCP_HEADER_BYTES, AppData, IPPacket
 from repro.net.sack import ReassemblyBuffer, SackScoreboard
+from repro.sim.arena import poolable, release
 from repro.sim.engine import Event, Simulator
 from repro.sim.fifo import FifoDelay
 from repro.sim.randomness import jittered
@@ -64,6 +65,7 @@ SACK_OPTION_BASE_BYTES = 2
 SACK_BLOCK_BYTES = 8
 
 
+@poolable(clear=("flags", "payload", "sack"))
 class TCPSegment:
     """One TCP segment; ``seq`` counts bytes, SYN/FIN occupy one each.
 
@@ -72,10 +74,13 @@ class TCPSegment:
     retransmission, so construction cost is part of the datapath.
     Treat instances as immutable.  ``sack`` carries the receiver's
     advertised ``(start, end)`` blocks (empty when SACK is off).
+    ``size_bytes`` is precomputed at construction (immutability makes the
+    cache trivially sound); delivered segments are recycled through the
+    class arena once the receiver is provably done with them.
     """
 
     __slots__ = ("src_port", "dst_port", "seq", "ack", "flags", "payload",
-                 "sack")
+                 "sack", "size_bytes")
 
     def __init__(self, src_port: int, dst_port: int, seq: int, ack: int,
                  flags: frozenset, payload: Optional[AppData] = None,
@@ -87,6 +92,33 @@ class TCPSegment:
         self.flags = flags
         self.payload = payload if payload is not None else AppData()
         self.sack = sack
+        size = TCP_HEADER_BYTES + self.payload.size_bytes
+        if sack:
+            size += SACK_OPTION_BASE_BYTES + SACK_BLOCK_BYTES * len(sack)
+        self.size_bytes = size
+
+    @classmethod
+    def acquire(cls, src_port: int, dst_port: int, seq: int, ack: int,
+                flags: frozenset, payload: Optional[AppData] = None,
+                sack: Tuple[Tuple[int, int], ...] = ()) -> "TCPSegment":
+        """Pooled constructor: identical semantics to ``TCPSegment(...)``."""
+        pool = cls._pool
+        if pool:
+            self = pool.pop()
+            cls._pool_reuses += 1
+            self.src_port = src_port
+            self.dst_port = dst_port
+            self.seq = seq
+            self.ack = ack
+            self.flags = flags
+            self.payload = payload if payload is not None else AppData()
+            self.sack = sack
+            size = TCP_HEADER_BYTES + self.payload.size_bytes
+            if sack:
+                size += SACK_OPTION_BASE_BYTES + SACK_BLOCK_BYTES * len(sack)
+            self.size_bytes = size
+            return self
+        return cls(src_port, dst_port, seq, ack, flags, payload, sack)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, TCPSegment):
@@ -107,14 +139,6 @@ class TCPSegment:
                 f"dst_port={self.dst_port}, seq={self.seq}, ack={self.ack}, "
                 f"flags={self.flags!r}, payload={self.payload!r}, "
                 f"sack={self.sack!r})")
-
-    @property
-    def size_bytes(self) -> int:
-        """Wire size: TCP header plus options plus payload."""
-        size = TCP_HEADER_BYTES + self.payload.size_bytes
-        if self.sack:
-            size += SACK_OPTION_BASE_BYTES + SACK_BLOCK_BYTES * len(self.sack)
-        return size
 
     @property
     def seq_space(self) -> int:
@@ -463,12 +487,12 @@ class TCPConnection:
         if (self._reassembly is not None and self._reassembly
                 and FLAG_ACK in flags):
             sack = self._reassembly.sack_blocks(lambda seg: seg.seq_space)
-        segment = TCPSegment(
-            src_port=self.local_port, dst_port=self.remote_port,
-            seq=seq if seq is not None else self.snd_nxt,
-            ack=self.rcv_nxt, flags=flags,
-            payload=payload if payload is not None else AppData(None, 0),
-            sack=sack,
+        segment = TCPSegment.acquire(
+            self.local_port, self.remote_port,
+            seq if seq is not None else self.snd_nxt,
+            self.rcv_nxt, flags,
+            payload if payload is not None else AppData.acquire(None, 0),
+            sack,
         )
         self.segments_sent += 1
         self._service.transmit(self, segment)
@@ -765,11 +789,11 @@ class TCPConnection:
             self.state = TCPState.CLOSE_WAIT
         elif self.state == TCPState.FIN_WAIT_2:
             self.state = TCPState.TIME_WAIT
-            self.sim.call_later(TIME_WAIT_DELAY, self._teardown,
+            self.sim.post_later(TIME_WAIT_DELAY, self._teardown,
                                 label=f"tcp-timewait:{self.local_port}")
         elif self.state == TCPState.FIN_WAIT_1:
             self.state = TCPState.TIME_WAIT
-            self.sim.call_later(TIME_WAIT_DELAY, self._teardown,
+            self.sim.post_later(TIME_WAIT_DELAY, self._teardown,
                                 label=f"tcp-timewait:{self.local_port}")
         if self.on_close is not None:
             callback, self.on_close = self.on_close, None
@@ -910,21 +934,33 @@ class TCPService:
 
     def transmit(self, conn: TCPConnection, segment: TCPSegment) -> None:
         """Wrap a segment in IP and send it (with host tx cost)."""
-        packet = IPPacket(src=conn.local_addr, dst=conn.remote_addr,
-                          protocol=PROTO_TCP, payload=segment,
-                          ttl=self.config.default_ttl)
+        packet = IPPacket.acquire(conn.local_addr, conn.remote_addr,
+                                  PROTO_TCP, segment,
+                                  self.config.default_ttl)
         delay = jittered(self._rng, self.timings.tx_cost, self.config.jitter)
-        self._tx_fifo.schedule(delay, lambda: self.host.ip.send(packet),
-                               label=f"tcp-tx:{self.host.name}")
+        self._tx_fifo.post(delay, lambda: self.host.ip.send(packet),
+                           label=f"tcp-tx:{self.host.name}")
 
     def _receive(self, packet: IPPacket, iface: "NetworkInterface") -> None:
         segment = packet.payload
         assert isinstance(segment, TCPSegment)
         delay = jittered(self._rng, self.timings.rx_cost, self.config.jitter)
-        self._rx_fifo.schedule(delay, lambda: self._dispatch(packet, segment),
-                               label=f"tcp-rx:{self.host.name}")
+        self._rx_fifo.post(delay, lambda: self._dispatch(packet, segment),
+                           label=f"tcp-rx:{self.host.name}")
 
     def _dispatch(self, packet: IPPacket, segment: TCPSegment) -> None:
+        try:
+            self._demux(packet, segment)
+        finally:
+            # Recycle-on-delivery: at this point the only expected
+            # references are this frame's parameters plus the closure cell
+            # in the (already-dispatched) rx event.  Anything extra — a
+            # reassembly buffer, a trace, a deferred callback — raises the
+            # refcount and silently vetoes the release.
+            release(packet, held=2)
+            release(segment, held=2)
+
+    def _demux(self, packet: IPPacket, segment: TCPSegment) -> None:
         key = (segment.dst_port, packet.src, segment.src_port)
         conn = self._connections.get(key)
         if conn is not None:
@@ -952,11 +988,11 @@ class TCPService:
         conn._arm_retransmit()
 
     def _send_reset(self, packet: IPPacket, segment: TCPSegment) -> None:
-        reset = TCPSegment(src_port=segment.dst_port, dst_port=segment.src_port,
-                           seq=segment.ack, ack=segment.seq + segment.seq_space,
-                           flags=frozenset({FLAG_RST}))
-        response = IPPacket(src=packet.dst, dst=packet.src, protocol=PROTO_TCP,
-                            payload=reset, ttl=self.config.default_ttl)
+        reset = TCPSegment.acquire(segment.dst_port, segment.src_port,
+                                   segment.ack, segment.seq + segment.seq_space,
+                                   frozenset({FLAG_RST}))
+        response = IPPacket.acquire(packet.dst, packet.src, PROTO_TCP,
+                                    reset, self.config.default_ttl)
         self.sim.trace.emit("tcp", "reset_sent", host=self.host.name,
                             segment=segment.describe())
         self.host.ip.send(response)

@@ -55,9 +55,15 @@ def format_key(component: str, name: str,
 
 
 class Metric:
-    """Common identity bookkeeping for all metric kinds."""
+    """Common identity bookkeeping for all metric kinds.
+
+    Slotted (as are all subclasses): registries hold thousands of counters
+    in big runs and are pickled across process boundaries by the parallel
+    runner, so the per-instance ``__dict__`` is pure overhead.
+    """
 
     kind = "metric"
+    __slots__ = ("component", "name", "labels")
 
     def __init__(self, component: str, name: str,
                  labels: Tuple[Tuple[str, str], ...]) -> None:
@@ -83,6 +89,7 @@ class Counter(Metric):
     """A monotonic count of occurrences (packets, drops, retransmits)."""
 
     kind = "counter"
+    __slots__ = ("value",)
 
     def __init__(self, component: str, name: str,
                  labels: Tuple[Tuple[str, str], ...]) -> None:
@@ -108,6 +115,7 @@ class Gauge(Metric):
     """A point-in-time value that can move both ways (queue depth)."""
 
     kind = "gauge"
+    __slots__ = ("value",)
 
     def __init__(self, component: str, name: str,
                  labels: Tuple[Tuple[str, str], ...]) -> None:
@@ -150,6 +158,8 @@ class Histogram(Metric):
     """
 
     kind = "histogram"
+    __slots__ = ("buckets", "bucket_counts", "count", "total",
+                 "minimum", "maximum")
 
     def __init__(self, component: str, name: str,
                  labels: Tuple[Tuple[str, str], ...],

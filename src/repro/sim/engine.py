@@ -23,14 +23,27 @@ runs, and wall clocks are not.
 Performance notes (the engine is the hottest loop in the repository):
 
 * :class:`Event` is a hand-rolled ``__slots__`` class, not a dataclass —
-  event construction happens once per scheduled callback and the slotted
-  layout roughly halves its cost (``python -m repro.bench`` tracks it).
-* The event queue is a pluggable :class:`~repro.sim.scheduler.Scheduler`
-  (binary heap by default, hierarchical timer wheel as an alternative)
-  that hands back *batches* of same-timestamp events, so a burst of
-  simultaneous timers pays one queue operation, not one per event.
-* Dispatch labels are interned at scheduling time, making the per-event
-  counter lookup a pointer-keyed dict hit.
+  the slotted layout roughly halves its construction cost, and with
+  pooling on (the default) steady-state runs barely construct events at
+  all: fire-and-forget callbacks scheduled through :meth:`Simulator.post_at`
+  / :meth:`Simulator.post_later` return no handle, so the engine recycles
+  their :class:`Event` objects through a free list the moment they
+  dispatch.  ``call_at``/``call_later`` events are *never* recycled —
+  callers hold them as cancellation handles, and a stale handle must stay
+  inert forever rather than cancel an unrelated reused event.
+* The event queue is a pluggable :class:`~repro.sim.scheduler.Scheduler`.
+  The default :class:`~repro.sim.scheduler.HeapScheduler` stores
+  ``(time, seq, event)`` tuples so heap comparisons run in C, and the
+  pooled fast path pops them inline without batch-list round-trips.
+* Dispatch labels are interned at scheduling time; the fast path counts
+  them into a plain ``dict`` inside the loop and flushes into the metrics
+  registry only when a run ends (or :meth:`profile` is called), so the
+  per-event cost is one dict hit instead of a registry lookup.  Both
+  paths produce identical ``engine/dispatched`` counters.
+
+Every fast path above is observationally neutral: a same-seed simulation
+produces byte-identical ``metrics.snapshot()`` output with pooling on or
+off, under either scheduler (``python -m repro.bench`` gates on it).
 """
 
 from __future__ import annotations
@@ -38,11 +51,12 @@ from __future__ import annotations
 import random
 import sys
 import time as _wallclock
-from typing import Callable, Dict, Optional, Union
+from heapq import heappop, heappush
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.obs.capture import note_simulator
 from repro.obs.metrics import Counter, MetricsRegistry
-from repro.sim.scheduler import Scheduler, create_scheduler
+from repro.sim.scheduler import HeapScheduler, Scheduler, create_scheduler
 from repro.sim.trace import Trace
 from repro.sim.units import SECOND
 
@@ -50,6 +64,15 @@ from repro.sim.units import SECOND
 Time = int
 
 _intern = sys.intern
+
+#: Process-wide default for ``Simulator(pooling=None)``.  ``Config.engine_pooling``
+#: feeds through the :class:`~repro.api.Scenario` facade; tests flip this to
+#: exercise both modes without threading a parameter through every factory.
+DEFAULT_POOLING = True
+
+#: Upper bound on the per-simulator event free list.  Beyond this the
+#: steady-state working set is covered and extra events are left to the GC.
+EVENT_POOL_CAP = 4096
 
 
 class SimulationError(RuntimeError):
@@ -66,6 +89,8 @@ class Event:
     :meth:`Simulator.call_at`/:meth:`Simulator.call_later` returns is an
     :class:`Event`, so components should annotate stored timers as
     ``Optional[Event]`` and call :meth:`cancel` without casts.
+    ``post_at``/``post_later`` return no handle — their events may be
+    recycled and must never be cancellable from outside.
     """
 
     __slots__ = ("time", "seq", "callback", "label", "cancelled", "_owner")
@@ -77,8 +102,10 @@ class Event:
         self.callback = callback
         self.label = label
         self.cancelled = cancelled
-        # The owning Simulator while the event sits in its queue; cleared on
-        # pop so a late cancel() cannot corrupt the queue accounting.
+        # The owning Simulator while a *handle* event sits in its queue;
+        # cleared on pop so a late cancel() cannot corrupt the queue
+        # accounting.  Pooled (post_*) events never set it: ``_owner is
+        # None`` at dispatch is the engine's recyclability test.
         self._owner: Optional["Simulator"] = None
 
     def __lt__(self, other: "Event") -> bool:
@@ -126,11 +153,25 @@ class Simulator:
         instance, a registered name (``"heap"``, ``"wheel"``), or ``None``
         for the default heap.  Both built-ins order events identically, so
         the choice affects wall time only, never results.
+    pooling:
+        Recycle ``post_at``/``post_later`` events through a free list and
+        run the inline heap fast path.  ``None`` (default) follows the
+        module-level :data:`DEFAULT_POOLING`; ``Config.engine_pooling``
+        sets it through the Scenario facade.  Results are byte-identical
+        either way — ``False`` exists for debugging (every event is a
+        fresh object, friendlier to ``id()``-based inspection).
+    label_accounting:
+        Keep per-label dispatch counters (the ``engine/dispatched``
+        metrics).  Leave on (default) for reproducible snapshots; turning
+        it off removes those counters from the snapshot entirely and is
+        only for raw-throughput measurement.
     """
 
     def __init__(self, seed: int = 0, trace: Optional[Trace] = None,
                  metrics: Optional[MetricsRegistry] = None,
-                 scheduler: Union[str, Scheduler, None] = None) -> None:
+                 scheduler: Union[str, Scheduler, None] = None,
+                 pooling: Optional[bool] = None,
+                 label_accounting: bool = True) -> None:
         self._now: Time = 0
         self._seq: int = 0
         self._scheduler: Scheduler = create_scheduler(scheduler)
@@ -141,12 +182,25 @@ class Simulator:
             metrics if metrics is not None else MetricsRegistry())
         self._running = False
         self._events_run = 0
-        # O(1) accounting of cancelled-but-still-queued events, so that
-        # pending() and the depth gauge never scan the queue.
+        self._pooling = DEFAULT_POOLING if pooling is None else bool(pooling)
+        # The inline fast path requires the tuple-heap layout; any other
+        # scheduler (or a HeapScheduler subclass) takes the generic loop,
+        # which still recycles post events when pooling is on.
+        self._fast = self._pooling and type(self._scheduler) is HeapScheduler
+        self._event_pool: List[Event] = []
+        self._pool_reuses = 0
+        self._count_labels = label_accounting
+        # O(1) accounting of live and cancelled-but-still-queued events, so
+        # that pending() and the depth gauge never scan the queue.  The
+        # invariant `_live == len(scheduler) - _cancelled_in_queue` holds
+        # at every point the old subtraction was evaluated.
+        self._live = 0
         self._cancelled_in_queue = 0
+        self._depth_hw = 0
         self._queue_depth_gauge = self.metrics.gauge("engine",
                                                      "queue_depth_max")
         self._dispatch_counters: Dict[str, Counter] = {}
+        self._label_counts: Dict[str, int] = {}
         #: Wall-clock nanoseconds spent inside run() (profiling only; kept
         #: out of the metrics registry to preserve snapshot determinism).
         self.wall_time_ns: int = 0
@@ -169,6 +223,11 @@ class Simulator:
         """The event queue implementation in use."""
         return self._scheduler
 
+    @property
+    def pooling(self) -> bool:
+        """Whether event recycling and the inline fast path are enabled."""
+        return self._pooling
+
     # ------------------------------------------------------------ randomness
 
     def rng(self, stream: str) -> random.Random:
@@ -188,7 +247,12 @@ class Simulator:
     # ------------------------------------------------------------ scheduling
 
     def call_at(self, when: Time, callback: Callable[[], None], label: str = "") -> Event:
-        """Schedule *callback* to run at absolute time *when*."""
+        """Schedule *callback* to run at absolute time *when*.
+
+        Returns the :class:`Event` as a cancellation handle; the event is
+        therefore never pooled.  Prefer :meth:`post_at` when the handle
+        would be discarded.
+        """
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule event {label!r} at {when} ns; "
@@ -198,10 +262,7 @@ class Simulator:
         event._owner = self
         self._seq += 1
         self._scheduler.push(event)
-        depth = len(self._scheduler) - self._cancelled_in_queue
-        gauge = self._queue_depth_gauge
-        if depth > gauge.value:
-            gauge.value = depth
+        self._bump_live()
         return event
 
     def call_later(self, delay: Time, callback: Callable[[], None], label: str = "") -> Event:
@@ -210,9 +271,58 @@ class Simulator:
             raise SimulationError(f"negative delay {delay} for event {label!r}")
         return self.call_at(self._now + delay, callback, label)
 
+    def post_at(self, when: Time, callback: Callable[[], None], label: str = "") -> None:
+        """Schedule *callback* at *when*, fire-and-forget.
+
+        The no-handle twin of :meth:`call_at`: nothing escapes that could
+        ever call ``cancel()``, so with pooling on the engine recycles the
+        backing :class:`Event` the moment it dispatches.  Datapath code
+        (link deliveries, serial FIFOs, forwarding) schedules exclusively
+        through this, which is what makes steady-state runs allocate
+        almost nothing.
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule event {label!r} at {when} ns; "
+                f"it is already {self._now} ns"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event.time = when
+            event.seq = seq
+            event.callback = callback
+            event.label = _intern(label)
+            self._pool_reuses += 1
+        else:
+            event = Event(when, seq, callback, _intern(label))
+        if self._fast:
+            heappush(self._scheduler._heap, (when, seq, event))
+        else:
+            self._scheduler.push(event)
+        self._bump_live()
+
+    def post_later(self, delay: Time, callback: Callable[[], None], label: str = "") -> None:
+        """Schedule *callback* *delay* nanoseconds from now, fire-and-forget."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} for event {label!r}")
+        self.post_at(self._now + delay, callback, label)
+
+    def _bump_live(self) -> None:
+        live = self._live + 1
+        self._live = live
+        if live > self._depth_hw:
+            self._depth_hw = live
+            gauge = self._queue_depth_gauge
+            if live > gauge.value:
+                gauge.value = live
+
     def _note_cancelled(self) -> None:
         """A queued event was cancelled; it no longer counts as live."""
         self._cancelled_in_queue += 1
+        self._live -= 1
 
     # --------------------------------------------------------------- running
 
@@ -235,29 +345,120 @@ class Simulator:
             raise SimulationError("run() is not reentrant")
         self._running = True
         wall_start = _wallclock.perf_counter_ns()
-        scheduler = self._scheduler
-        counters = self._dispatch_counters
-        ran_this_call = 0
         try:
-            while True:
-                batch = scheduler.pop_batch(until)
-                if batch is None:
-                    break
-                for event in batch:
+            if self._fast:
+                self._run_fast(until, max_events)
+            else:
+                self._run_generic(until, max_events)
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+            self.wall_time_ns += _wallclock.perf_counter_ns() - wall_start
+
+    def _run_fast(self, until: Optional[Time], max_events: Optional[int]) -> None:
+        """Inline heap loop: pops ``(time, seq, event)`` tuples straight off
+        ``HeapScheduler._heap``, recycles post events, and defers label
+        accounting to a plain dict flushed when the run ends."""
+        heap = self._scheduler._heap
+        pool = self._event_pool
+        counts = self._label_counts if self._count_labels else None
+        pop = heappop
+        events_local = 0
+        try:
+            if until is None and max_events is None:
+                while heap:
+                    when, _seq, event = pop(heap)
                     if event.cancelled:
-                        # Lazy purge: cancelled events are dropped without
-                        # running their callbacks.
                         self._cancelled_in_queue -= 1
                         event._owner = None
                         continue
-                    event._owner = None
-                    self._now = event.time
-                    self._events_run += 1
+                    self._live -= 1
+                    self._now = when
+                    events_local += 1
+                    if counts is not None:
+                        label = event.label
+                        try:
+                            counts[label] += 1
+                        except KeyError:
+                            counts[label] = 1
+                    callback = event.callback
+                    if event._owner is None:
+                        if len(pool) < EVENT_POOL_CAP:
+                            event.callback = None
+                            pool.append(event)
+                    else:
+                        event._owner = None
+                    callback()
+            else:
+                ran_this_call = 0
+                while heap:
+                    head = heap[0]
+                    when = head[0]
+                    if until is not None and when > until:
+                        break
+                    pop(heap)
+                    event = head[2]
+                    if event.cancelled:
+                        self._cancelled_in_queue -= 1
+                        event._owner = None
+                        continue
+                    self._live -= 1
+                    self._now = when
+                    events_local += 1
                     ran_this_call += 1
                     if max_events is not None and ran_this_call > max_events:
                         raise SimulationError(
                             f"exceeded max_events={max_events} (runaway simulation?)"
                         )
+                    if counts is not None:
+                        label = event.label
+                        try:
+                            counts[label] += 1
+                        except KeyError:
+                            counts[label] = 1
+                    callback = event.callback
+                    if event._owner is None:
+                        if len(pool) < EVENT_POOL_CAP:
+                            event.callback = None
+                            pool.append(event)
+                    else:
+                        event._owner = None
+                    callback()
+        finally:
+            self._events_run += events_local
+            if counts:
+                self._flush_label_counts()
+
+    def _run_generic(self, until: Optional[Time], max_events: Optional[int]) -> None:
+        """Batched scheduler-agnostic loop (identical to the pre-pooling
+        engine apart from recycling post events when pooling is on)."""
+        scheduler = self._scheduler
+        counters = self._dispatch_counters
+        counting = self._count_labels
+        pooling = self._pooling
+        pool = self._event_pool
+        ran_this_call = 0
+        while True:
+            batch = scheduler.pop_batch(until)
+            if batch is None:
+                break
+            for event in batch:
+                if event.cancelled:
+                    # Lazy purge: cancelled events are dropped without
+                    # running their callbacks.
+                    self._cancelled_in_queue -= 1
+                    event._owner = None
+                    continue
+                self._live -= 1
+                self._now = event.time
+                self._events_run += 1
+                ran_this_call += 1
+                if max_events is not None and ran_this_call > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} (runaway simulation?)"
+                    )
+                if counting:
                     label = event.label
                     counter = counters.get(label)
                     if counter is None:
@@ -265,12 +466,14 @@ class Simulator:
                                                        label=label or "unlabeled")
                         counters[label] = counter
                     counter.value += 1
-                    event.callback()
-            if until is not None and self._now < until:
-                self._now = until
-        finally:
-            self._running = False
-            self.wall_time_ns += _wallclock.perf_counter_ns() - wall_start
+                callback = event.callback
+                if event._owner is None:
+                    if pooling and len(pool) < EVENT_POOL_CAP:
+                        event.callback = None
+                        pool.append(event)
+                else:
+                    event._owner = None
+                callback()
 
     def run_for(self, duration: Time) -> None:
         """Run for *duration* nanoseconds of virtual time from now."""
@@ -278,9 +481,24 @@ class Simulator:
 
     def pending(self) -> int:
         """Number of live (non-cancelled) events still queued."""
-        return len(self._scheduler) - self._cancelled_in_queue
+        return self._live
 
     # ------------------------------------------------------------- profiling
+
+    def _flush_label_counts(self) -> None:
+        """Drain the fast loop's deferred label counts into the registry."""
+        counts = self._label_counts
+        if not counts:
+            return
+        counters = self._dispatch_counters
+        for label, n in counts.items():
+            counter = counters.get(label)
+            if counter is None:
+                counter = self.metrics.counter("engine", "dispatched",
+                                               label=label or "unlabeled")
+                counters[label] = counter
+            counter.value += n
+        counts.clear()
 
     def profile(self) -> Dict[str, object]:
         """Engine profile: simulated vs wall time plus dispatch breakdown.
@@ -288,12 +506,30 @@ class Simulator:
         Unlike ``metrics.snapshot()`` this includes wall-clock figures, so
         it is *not* reproducible across runs — use it for performance
         work, not for golden-file comparisons.
+
+        The ``event_pool`` block reports the engine arena (reuses, current
+        free-list size, hit rate over all dispatches) and ``packet_arenas``
+        the per-class packet free lists.  When the simulator has recycled
+        at least one event a lazy ``engine/pool_reuses`` counter is also
+        materialised in the registry — only here, so snapshots taken
+        without profiling stay byte-identical to unpooled runs.
         """
+        self._flush_label_counts()
         dispatched = {
             label or "unlabeled": counter.value
             for label, counter in sorted(self._dispatch_counters.items())
         }
         wall = self.wall_time_ns
+        reuses = self._pool_reuses
+        if reuses:
+            # Lazy: materialised only on profile(), so unprofiled runs stay
+            # snapshot-neutral (the byte-identity guard depends on that).
+            self.metrics.counter("engine", "pool_reuses").value = reuses
+        try:
+            from repro.net.packet import arena_stats
+            packet_arenas = arena_stats()
+        except ImportError:  # pragma: no cover - packet layer not loaded
+            packet_arenas = {}
         return {
             "events_run": self._events_run,
             "sim_time_ns": self._now,
@@ -302,7 +538,14 @@ class Simulator:
             "queue_depth_max": self._queue_depth_gauge.value,
             "pending": self.pending(),
             "scheduler": self._scheduler.name,
+            "pooling": self._pooling,
             "dispatched_by_label": dispatched,
+            "event_pool": {
+                "reuses": reuses,
+                "free": len(self._event_pool),
+                "hit_rate": (reuses / self._events_run) if self._events_run else 0.0,
+            },
+            "packet_arenas": packet_arenas,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

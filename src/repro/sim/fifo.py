@@ -32,6 +32,16 @@ class FifoDelay:
         self._busy_until = finish
         return self._sim.call_at(finish, callback, label)
 
+    def post(self, delay: int, callback: Callable[[], None],
+             label: str = "") -> None:
+        """Like :meth:`schedule`, but fire-and-forget: no cancellation
+        handle is returned, so the engine may recycle the event.  Use it
+        whenever the ``schedule`` return value would be discarded."""
+        start = max(self._sim.now, self._busy_until)
+        finish = start + max(delay, 0)
+        self._busy_until = finish
+        self._sim.post_at(finish, callback, label)
+
     @property
     def backlog(self) -> int:
         """Nanoseconds of queued work ahead of a new arrival (0 = idle)."""

@@ -23,10 +23,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional
 
+from repro.sim.arena import poolable, release
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.engine import Simulator
 
 
+@poolable(clear=("fields",))
 class TraceRecord:
     """One traced occurrence.
 
@@ -46,6 +49,21 @@ class TraceRecord:
         self.category = category
         self.event = event
         self.fields = fields if fields is not None else {}
+
+    @classmethod
+    def acquire(cls, time: int, category: str, event: str,
+                fields: Optional[Dict[str, Any]] = None) -> "TraceRecord":
+        """Pooled constructor: identical semantics to ``TraceRecord(...)``."""
+        pool = cls._pool
+        if pool:
+            self = pool.pop()
+            cls._pool_reuses += 1
+            self.time = time
+            self.category = category
+            self.event = event
+            self.fields = fields if fields is not None else {}
+            return self
+        return cls(time, category, event, fields)
 
     def __getitem__(self, key: str) -> Any:
         return self.fields[key]
@@ -102,7 +120,7 @@ class Trace:
         if not self.enabled or category in self._disabled_categories:
             return
         self._records.append(
-            TraceRecord(time=self._sim.now, category=category, event=event, fields=fields)
+            TraceRecord.acquire(self._sim.now, category, event, fields)
         )
 
     @property
@@ -149,7 +167,15 @@ class Trace:
         return None
 
     def clear(self) -> None:
-        """Drop all records (harnesses call this between iterations)."""
+        """Drop all records (harnesses call this between iterations).
+
+        Records nobody else kept a reference to are recycled into the
+        :class:`TraceRecord` arena; anything a harness still holds (via
+        :meth:`select`, :attr:`records`, ...) survives untouched.
+        """
+        for record in self._records:
+            # held=2: this loop variable plus the list slot about to die.
+            release(record, held=2)
         self._records.clear()
 
 
