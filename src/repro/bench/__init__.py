@@ -23,6 +23,12 @@ guard, then writes ``BENCH_engine.json``, ``BENCH_datapath.json`` and
   speedup, ``cpu_count``, and a determinism verdict (plain-data reports
   must compare equal).  A report mismatch fails the run like a guard
   failure; speedup never does.
+* **Fleet** (:mod:`repro.bench.fleet_bench`) — the x7 aggregate-model
+  fleet row at 10^5 hosts, writing ``BENCH_fleet.json`` with wall-clock
+  and registrations processed per second.  Throughput below the
+  registrations/sec floor or a rerun mismatch fails the run: the floor
+  is the tripwire against reintroducing per-host simulation on the
+  fleet path.
 * **Guard** (:mod:`repro.bench.guard`) — re-runs the same seeded scenario
   with the fast path on and off (caches disabled, verbose tracing forced,
   wheel vs heap scheduler) and asserts the metric snapshots are
@@ -37,6 +43,7 @@ packets built, cache hits) are exactly reproducible.
 
 from repro.bench.datapath_bench import run_datapath_bench
 from repro.bench.engine_bench import run_engine_bench
+from repro.bench.fleet_bench import run_fleet_bench
 from repro.bench.guard import run_determinism_guard, strip_cache_metrics
 from repro.bench.parallel_bench import run_parallel_bench
 
@@ -45,5 +52,6 @@ __all__ = [
     "run_datapath_bench",
     "run_determinism_guard",
     "run_parallel_bench",
+    "run_fleet_bench",
     "strip_cache_metrics",
 ]

@@ -8,16 +8,18 @@ Usage::
     python -m repro.bench --jobs 4     # worker count for the parallel bench
 
 Runs the engine benchmark, the datapath benchmarks, the same-seed
-determinism guard, the TCP congestion-control comparison, and the
-serial-vs-parallel experiment-suite bench, then writes
-``BENCH_engine.json``, ``BENCH_datapath.json``, ``BENCH_tcp.json`` and
-``BENCH_parallel.json``.  The exit status reflects correctness plus one
-relative-speed floor: it is non-zero if a determinism check fails (the
-guard, TCP reruns, or serial/parallel report divergence), if the engine
-speedup vs the in-process baseline replica falls below ``--min-speedup``
-(default 2.5x; 0 disables), or if a BENCH file cannot be written.
-Absolute wall times stay advisory — they belong to the machine; the
-ratio and identity belong to us.
+determinism guard, the TCP congestion-control comparison, the
+serial-vs-parallel experiment-suite bench, and the aggregate fleet-scale
+bench, then writes ``BENCH_engine.json``, ``BENCH_datapath.json``,
+``BENCH_tcp.json``, ``BENCH_parallel.json`` and ``BENCH_fleet.json``.
+The exit status reflects correctness plus two floors: it is non-zero if
+a determinism check fails (the guard, TCP reruns, serial/parallel report
+divergence, or fleet rerun divergence), if the engine speedup vs the
+in-process baseline replica falls below ``--min-speedup`` (default 2.5x;
+0 disables), if fleet registration throughput falls below its
+registrations/sec floor, or if a BENCH file cannot be written.  Absolute
+wall times stay advisory — they belong to the machine; the ratios,
+floors and identity belong to us.
 """
 
 from __future__ import annotations
@@ -29,6 +31,7 @@ from pathlib import Path
 
 from repro.bench.datapath_bench import run_datapath_bench
 from repro.bench.engine_bench import run_engine_bench
+from repro.bench.fleet_bench import run_fleet_bench
 from repro.bench.guard import run_determinism_guard
 from repro.bench.parallel_bench import run_parallel_bench
 from repro.bench.tcp_bench import run_tcp_bench
@@ -120,10 +123,19 @@ def main(argv: list) -> int:
           f"jobs={parallel['jobs']} {total['parallel_s']:6.2f}s  "
           f"({total['speedup']:.2f}x on {parallel['cpu_count']} CPUs)")
 
+    print("== fleet scale (aggregate hosts) ==")
+    fleet = run_fleet_bench(quick=args.quick)
+    fleet_status = "ok" if fleet["rerun_identical"] else "MISMATCH"
+    print(f"{fleet['fleet_hosts']:,} hosts  "
+          f"{fleet['registrations']:,} registrations  "
+          f"{fleet['wall_s']:6.2f}s  "
+          f"({fleet['regs_per_sec']:,.0f} regs/sec)  {fleet_status}")
+
     _write(args.out / "BENCH_engine.json", engine)
     _write(args.out / "BENCH_datapath.json", datapath)
     _write(args.out / "BENCH_tcp.json", tcp)
     _write(args.out / "BENCH_parallel.json", parallel)
+    _write(args.out / "BENCH_fleet.json", fleet)
 
     failed = False
     if args.min_speedup > 0 and speedups["best"] < args.min_speedup:
@@ -154,6 +166,18 @@ def main(argv: list) -> int:
     else:
         print(f"parallel determinism passed: jobs={parallel['jobs']} "
               f"reports identical to serial")
+    if not fleet["meets_floor"]:
+        print(f"fleet bench FAILED: {fleet['regs_per_sec']:,.0f} regs/sec is "
+              f"below the {fleet['min_regs_per_sec']:,.0f} floor",
+              file=sys.stderr)
+        failed = True
+    elif not fleet["rerun_identical"]:
+        print("fleet bench FAILED: same-seed rerun produced a different "
+              "report", file=sys.stderr)
+        failed = True
+    else:
+        print(f"fleet bench passed: {fleet['regs_per_sec']:,.0f} regs/sec "
+              f"(floor {fleet['min_regs_per_sec']:,.0f}), rerun identical")
     return 1 if failed else 0
 
 

@@ -28,6 +28,7 @@ BENCH_FILES = (
     "BENCH_datapath.json",
     "BENCH_tcp.json",
     "BENCH_parallel.json",
+    "BENCH_fleet.json",
 )
 
 
@@ -101,6 +102,7 @@ _HEADLINES = (
     ("BENCH_datapath.json", "scenario_regeneration.events_per_sec",
      "scenario events/sec"),
     ("BENCH_parallel.json", "total.speedup", "parallel total speedup"),
+    ("BENCH_fleet.json", "regs_per_sec", "fleet regs/sec"),
 )
 
 

@@ -1,0 +1,66 @@
+"""Fleet-scale benchmark: aggregate-model throughput at 10^5 hosts.
+
+The x7 experiment's promise is that a 10^5-host fleet is cheap: one
+:class:`~repro.workloads.aggregate.AggregateHostModel` pass over the
+hosts, no per-registration events.  This bench times exactly that — the
+default x7 row at 100,000 hosts on a 4-replica consistent-hash plane —
+and reports **registrations processed per wall-clock second**, the
+number that collapses if someone reintroduces per-host object graphs or
+per-arrival event scheduling.
+
+Gating is two-fold, mirroring the other bench stages:
+
+* the throughput must clear a conservative floor
+  (:data:`MIN_REGS_PER_SEC`; ~9x headroom on the reference machine), and
+* a same-seed rerun must produce a byte-identical report.
+
+Absolute wall seconds stay advisory; the floor and the identity are the
+contract.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.exp_fleet_scale import run_fleet_scale_experiment
+
+#: Hosts in the measured fleet (the x7 10^5 row).
+FLEET_HOSTS = 100_000
+#: Quick-mode fleet for CI smoke runs.
+QUICK_FLEET_HOSTS = 20_000
+#: Gating floor: registrations processed per wall-clock second.  The
+#: reference run clears ~90k/s; an order of magnitude of headroom keeps
+#: slow CI runners from flaking while still catching a return to
+#: per-host simulation (which runs ~100x slower).
+MIN_REGS_PER_SEC = 10_000.0
+
+
+def run_fleet_bench(quick: bool = False,
+                    min_regs_per_sec: float = MIN_REGS_PER_SEC) -> dict:
+    """Time the aggregate fleet row; check the floor and rerun identity."""
+    fleet = QUICK_FLEET_HOSTS if quick else FLEET_HOSTS
+
+    start = time.perf_counter()
+    report = run_fleet_scale_experiment(fleet_sizes=(fleet,),
+                                        failover_fleet=None)
+    wall_s = time.perf_counter() - start
+    rendered = report.format_report()
+
+    rerun = run_fleet_scale_experiment(fleet_sizes=(fleet,),
+                                       failover_fleet=None).format_report()
+
+    point = report.points[0]
+    regs_per_sec = point.registrations / wall_s if wall_s > 0 else 0.0
+    return {
+        "fleet_hosts": fleet,
+        "agents": point.agents,
+        "registrations": point.registrations,
+        "handoffs": point.handoffs,
+        "p99_ms": point.p99_ms,
+        "wall_s": wall_s,
+        "regs_per_sec": regs_per_sec,
+        "min_regs_per_sec": min_regs_per_sec,
+        "meets_floor": regs_per_sec >= min_regs_per_sec,
+        "rerun_identical": rendered == rerun,
+        "quick": quick,
+    }

@@ -116,6 +116,44 @@ class RegistrationTimings:
 
 
 @dataclass(frozen=True)
+class FleetTimings:
+    """Statistical parameters of the aggregate fleet model (x7 scale).
+
+    :class:`repro.workloads.aggregate.AggregateHostModel` represents N
+    mobile hosts as arrival processes instead of object graphs; these
+    constants calibrate those processes against the per-host testbed:
+
+    * a host (re)registers as a Poisson process with mean interval
+      ``mean_registration_interval`` (the default matches the per-host
+      binding lifetime, i.e. pure lifetime-renewal traffic);
+    * ``network_overhead`` is everything in the Figure 7 round trip that
+      is *not* home-agent service time (mobile-host marshalling, socket
+      overheads, wire time): 4.79 ms total minus the ~1.96 ms the agent
+      spends receiving, processing and replying;
+    * per-registration home-agent service time itself comes from
+      :class:`RegistrationTimings` (receive + processing + send), so the
+      aggregate and per-host models share one calibration.
+    """
+
+    #: Mean Poisson inter-registration interval per host, ns.
+    mean_registration_interval: int = ms(60_000)
+    #: Probability that a registration reflects an actual move (binding
+    #: churn: new care-of address) rather than a same-address renewal.
+    churn_probability: float = 0.3
+    #: Non-HA share of the registration round trip, ns (Figure 7).
+    network_overhead: int = us(2830)
+    #: Fractional deterministic jitter (uniform +/-) on the network share.
+    latency_jitter: float = 0.25
+    #: Mean per-host tunnel traffic while registered, bytes/second
+    #: (~32 kbit/s: a Metricom radio running flat out).
+    tunnel_bytes_per_sec: int = 4_000
+    #: Cap on modeled per-agent utilization: queueing delay is computed
+    #: from an M/D/1 waiting time, which diverges at rho = 1; beyond the
+    #: cap the model reports saturation rather than infinities.
+    utilization_cap: float = 0.95
+
+
+@dataclass(frozen=True)
 class AutoswitchTimings:
     """Probe cadence and hysteresis for automatic network selection."""
 
@@ -224,6 +262,9 @@ class Config:
             default_lifetime=ms(60_000),
         )
     )
+
+    # ---------------------------------------------------------------- fleet
+    fleet: FleetTimings = field(default_factory=FleetTimings)
 
     # ----------------------------------------------------------- autoswitch
     autoswitch: AutoswitchTimings = field(

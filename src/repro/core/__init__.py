@@ -23,6 +23,7 @@ from repro.core.auth import (
     RegistrationAuthenticator,
 )
 from repro.core.autoswitch import AttachmentOption, ConnectivityManager
+from repro.core.binding_shard import BindingShardPlane, HashRing
 from repro.core.bindings import MobilityBinding, MobilityBindingTable
 from repro.core.foreign_agent import ForeignAgentService
 from repro.core.handoff import AddressSwitcher, DeviceSwitcher, SwitchTimeline
@@ -45,6 +46,8 @@ from repro.core.registration import (
 from repro.core.tunnel import IPIPModule, VirtualInterface
 
 __all__ = [
+    "BindingShardPlane",
+    "HashRing",
     "MobilityBinding",
     "MobilityBindingTable",
     "ForeignAgentService",

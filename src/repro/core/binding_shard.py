@@ -1,0 +1,313 @@
+"""A consistent-hash plane of home-agent replicas (fleet-scale anchor).
+
+The paper's single home agent serializes every registration on one CPU;
+our x4 sweep showed that per-binding state at the anchor is the scaling
+limit (the same bottleneck Dynamic Index NAT attacks for NAT-based
+mobility).  This module shards the binding plane the way a production
+deployment would:
+
+* :class:`HashRing` — a classic consistent-hash ring over replica
+  *names*.  Every replica contributes ``vnodes`` virtual points placed by
+  a **seed-free** hash (BLAKE2b, never Python's per-process randomized
+  ``hash()``), so two processes — or two machines — that build a ring
+  from the same names agree on every placement without coordination.
+  Adding or removing a replica moves only the keys adjacent to its
+  points (~1/n of the space).
+* :class:`BindingShardPlane` — wires the ring to live
+  :class:`~repro.core.home_agent.HomeAgentService` replicas.  A home
+  address is *served* by its ``replication`` ring successors, so when the
+  primary :meth:`~repro.core.home_agent.HomeAgentService.crash`\\ es (the
+  PR-4 restart machinery, reachable from a fault plan via
+  :class:`~repro.faults.plan.HomeAgentRestart`'s ``agent`` field) lookups
+  fail over to the next live replica — takeover without re-registration.
+
+The aggregate fleet models (:mod:`repro.workloads.aggregate`) use the
+ring purely mathematically: :meth:`HashRing.ownership` and
+:meth:`HashRing.effective_ownership` give each replica's share of the
+key space, which is what sets per-replica registration load at 10^5-10^6
+hosts without instantiating per-host state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.home_agent import HomeAgentService
+    from repro.sim.engine import Simulator
+
+_SPACE = 1 << 64
+
+#: Virtual points each replica contributes to the ring.  64 keeps every
+#: replica's share within ~±15-20% of fair; more smooths further at
+#: linear memory/build cost.
+DEFAULT_VNODES = 64
+#: How many distinct successor replicas serve (are provisioned for) each
+#: home address.
+DEFAULT_REPLICATION = 2
+
+
+def stable_hash64(key: str) -> int:
+    """A 64-bit hash of *key* that never varies across processes.
+
+    Python's builtin ``hash()`` is salted per process (PYTHONHASHSEED),
+    which would scatter ring placements across workers and break the
+    byte-identical ``--jobs`` contract; BLAKE2b is fast, stable and
+    well-mixed.
+    """
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Consistent hashing over replica names with virtual nodes.
+
+    Deterministic by construction: placements depend only on the member
+    names and ``vnodes``, never on insertion order, process, or seed.
+    """
+
+    def __init__(self, nodes: Iterable[str] = (), *,
+                 vnodes: int = DEFAULT_VNODES) -> None:
+        if vnodes <= 0:
+            raise ValueError(f"vnodes must be positive, got {vnodes}")
+        self.vnodes = vnodes
+        self._points: List[int] = []
+        self._owners: List[str] = []
+        self._nodes: Dict[str, List[int]] = {}
+        for name in nodes:
+            self.add(name)
+
+    # ------------------------------------------------------------ membership
+
+    @property
+    def nodes(self) -> List[str]:
+        """Member names, sorted (stable regardless of insertion order)."""
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._nodes
+
+    def add(self, name: str) -> None:
+        """Add a replica: ``vnodes`` points join the ring, the rest stay."""
+        if name in self._nodes:
+            raise ValueError(f"ring already contains {name!r}")
+        points = []
+        for index in range(self.vnodes):
+            point = stable_hash64(f"{name}#{index}")
+            position = bisect_right(self._points, point)
+            # A full 64-bit collision between different names is beyond
+            # unlikely; tie-break by name so even that stays deterministic.
+            while (position < len(self._points)
+                   and self._points[position] == point
+                   and self._owners[position] < name):
+                position += 1  # pragma: no cover
+            self._points.insert(position, point)
+            self._owners.insert(position, name)
+            points.append(point)
+        self._nodes[name] = points
+
+    def remove(self, name: str) -> None:
+        """Remove a replica; only its arcs change owners."""
+        if name not in self._nodes:
+            raise ValueError(f"ring does not contain {name!r}")
+        del self._nodes[name]
+        keep = [(point, owner)
+                for point, owner in zip(self._points, self._owners)
+                if owner != name]
+        self._points = [point for point, _ in keep]
+        self._owners = [owner for _, owner in keep]
+
+    # ---------------------------------------------------------------- lookup
+
+    def _successor_index(self, point: int) -> int:
+        index = bisect_right(self._points, point)
+        return index % len(self._points)
+
+    def lookup(self, key: str,
+               avoid: Optional[Callable[[str], bool]] = None) -> str:
+        """The replica owning *key*: the first point clockwise of its hash.
+
+        ``avoid`` is the takeover hook: a predicate marking replicas that
+        cannot serve right now (crashed); the walk continues clockwise to
+        the first point owned by an acceptable replica.  Raises
+        ``LookupError`` when the ring is empty or every replica is
+        avoided.
+        """
+        if not self._points:
+            raise LookupError("hash ring is empty")
+        index = self._successor_index(stable_hash64(key))
+        if avoid is None:
+            return self._owners[index]
+        for step in range(len(self._points)):
+            owner = self._owners[(index + step) % len(self._points)]
+            if not avoid(owner):
+                return owner
+        raise LookupError("every replica on the ring is avoided")
+
+    def replicas(self, key: str, count: int) -> List[str]:
+        """The first *count* **distinct** replicas clockwise from *key*.
+
+        The primary comes first; the rest are the takeover order.  Fewer
+        than *count* members yields them all.
+        """
+        if not self._points:
+            raise LookupError("hash ring is empty")
+        found: List[str] = []
+        index = self._successor_index(stable_hash64(key))
+        for step in range(len(self._points)):
+            owner = self._owners[(index + step) % len(self._points)]
+            if owner not in found:
+                found.append(owner)
+                if len(found) == count:
+                    break
+        return found
+
+    # ------------------------------------------------------------- ownership
+
+    def ownership(self) -> Dict[str, float]:
+        """Each replica's fraction of the hash space (sums to 1.0).
+
+        This is the *expected* share of uniformly hashed keys, which the
+        aggregate fleet models use to set per-replica registration load
+        without hashing every host.
+        """
+        return self.effective_ownership(frozenset())
+
+    def effective_ownership(self, failed: frozenset) -> Dict[str, float]:
+        """Ownership after the *failed* replicas' arcs fail over.
+
+        Each arc owned by a failed replica is inherited by the next
+        clockwise point whose owner is live — exactly what
+        :meth:`lookup` with an ``avoid`` predicate does per key, computed
+        in closed form over arcs.  Failed replicas report share 0.0.
+        """
+        shares: Dict[str, float] = {name: 0.0 for name in self._nodes}
+        live = [name for name in self._nodes if name not in failed]
+        if not live:
+            return shares
+        count = len(self._points)
+        for index, point in enumerate(self._points):
+            previous = self._points[index - 1] if index else self._points[-1]
+            arc = (point - previous) % _SPACE
+            if arc == 0 and count == 1:
+                arc = _SPACE  # a single point owns the whole circle
+            owner = self._owners[index]
+            if owner in failed:
+                for step in range(1, count + 1):
+                    candidate = self._owners[(index + step) % count]
+                    if candidate not in failed:
+                        owner = candidate
+                        break
+            shares[owner] += arc / _SPACE
+        return shares
+
+
+class BindingShardPlane:
+    """The distributed home-agent control plane: ring + live replicas.
+
+    ``agents`` maps replica names to :class:`HomeAgentService` instances
+    (anything exposing ``serve``/``crash``/``is_down`` works, which keeps
+    the plane testable without a full topology).  A home address is
+    provisioned on its ``replication`` ring successors so a crashed
+    primary's bindings can be re-won at a live replica without waiting
+    for it to come back.
+
+    Observability is lazy: the per-shard gauges and takeover counters
+    appear in the metrics snapshot only once the plane actually serves an
+    address or fails a lookup over, so building (and never using) a plane
+    leaves snapshots byte-identical.
+    """
+
+    def __init__(self, sim: "Simulator",
+                 agents: Mapping[str, "HomeAgentService"], *,
+                 replication: int = DEFAULT_REPLICATION,
+                 vnodes: int = DEFAULT_VNODES) -> None:
+        if not agents:
+            raise ValueError("a binding-shard plane needs at least one agent")
+        if replication <= 0:
+            raise ValueError(f"replication must be positive, got {replication}")
+        self.sim = sim
+        self.agents: Dict[str, "HomeAgentService"] = dict(agents)
+        self.replication = min(replication, len(self.agents))
+        self.ring = HashRing(self.agents, vnodes=vnodes)
+        self.takeovers = 0
+        self._provisioned: Dict[str, set] = {}
+
+    # ------------------------------------------------------------- provision
+
+    def owners(self, home_address: object) -> List[str]:
+        """The replica names serving *home_address*, primary first."""
+        return self.ring.replicas(str(home_address), self.replication)
+
+    def serve(self, home_address: object) -> List[str]:
+        """Authorize service for *home_address* on all its replicas."""
+        names = self.owners(home_address)
+        for name in names:
+            self.agents[name].serve(home_address)
+            provisioned = self._provisioned.setdefault(name, set())
+            if home_address not in provisioned:
+                provisioned.add(home_address)
+                # Lazy per-shard gauge: distinct addresses provisioned here.
+                gauge = self.sim.metrics.gauge("binding_shard", "served",
+                                               agent=name)
+                gauge.value += 1
+        return names
+
+    # ---------------------------------------------------------------- lookup
+
+    def agent_for(self, home_address: object) -> Optional["HomeAgentService"]:
+        """The live replica currently responsible for *home_address*.
+
+        The primary when it is up; otherwise the next live replica
+        clockwise (takeover).  ``None`` when every replica is down.
+        """
+        names = self.owners(home_address)
+        primary = names[0]
+        for name in names:
+            agent = self.agents[name]
+            if not agent.is_down:
+                if name != primary:
+                    self._count_takeover(primary, name)
+                return agent
+        # Every provisioned replica is down: any live ring member may
+        # take over (it will accept re-registrations once provisioned).
+        try:
+            name = self.ring.lookup(str(home_address),
+                                    avoid=lambda n: self.agents[n].is_down)
+        except LookupError:
+            return None
+        self._count_takeover(primary, name)
+        return self.agents[name]
+
+    def _count_takeover(self, primary: str, takeover: str) -> None:
+        self.takeovers += 1
+        counter = self.sim.metrics.counter("binding_shard", "takeovers",
+                                           agent=takeover)
+        counter.value += 1
+        self.sim.trace.emit("binding_shard", "takeover",
+                            primary=primary, takeover=takeover)
+
+    # ---------------------------------------------------------------- faults
+
+    def crash(self, name: str, down_for: int,
+              on_recovered: Optional[Callable[[], None]] = None) -> None:
+        """Crash one replica (state loss + downtime, PR-4 machinery)."""
+        agent = self.agents.get(name)
+        if agent is None:
+            raise ValueError(f"plane has no agent {name!r}; "
+                             f"known: {sorted(self.agents)}")
+        agent.crash(down_for, on_recovered=on_recovered)
+
+    def is_down(self, name: str) -> bool:
+        """True while the named replica is crashed."""
+        return self.agents[name].is_down
+
+    def down_agents(self) -> List[str]:
+        """Names of currently crashed replicas, sorted."""
+        return sorted(name for name, agent in self.agents.items()
+                      if agent.is_down)

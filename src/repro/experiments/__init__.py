@@ -25,6 +25,8 @@ Extension experiments (features the paper names but defers):
 * :mod:`repro.experiments.exp_tcp_cc` — TCP congestion-control sweep
   (Tahoe vs Reno vs CUBIC, SACK) over bursty loss and a mid-stream
   Ethernet-to-radio handoff.
+* :mod:`repro.experiments.exp_fleet_scale` — 10^3-10^6-host fleets on a
+  consistent-hash home-agent plane via aggregate host models.
 
 ``python -m repro.experiments`` runs everything and prints paper-style
 reports.
@@ -54,6 +56,10 @@ from repro.experiments.exp_autoswitch import (
 from repro.experiments.exp_chaos import (
     ChaosReport,
     run_chaos_experiment,
+)
+from repro.experiments.exp_fleet_scale import (
+    FleetScaleReport,
+    run_fleet_scale_experiment,
 )
 from repro.experiments.exp_ha_scalability import (
     HAFleetSweepReport,
@@ -93,4 +99,6 @@ __all__ = [
     "ChaosReport",
     "run_tcp_cc_experiment",
     "TcpCcReport",
+    "run_fleet_scale_experiment",
+    "FleetScaleReport",
 ]

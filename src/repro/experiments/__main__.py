@@ -7,12 +7,14 @@ Usage::
     python -m repro.experiments --jobs 4   # shard trials across 4 workers
     python -m repro.experiments --figures  # ASCII renderings of fig. 6 & 7
     python -m repro.experiments --metrics  # append per-component counters
+    python -m repro.experiments --list     # print ids and titles, exit
 
 Experiment ids: ``e1`` (same-subnet switch), ``f6`` (device switching),
 ``f7`` (registration time-line), ``f3`` (routing options), ``a1``
-(foreign-agent ablation), ``x1``-``x6`` (extensions; ``x4`` is the
+(foreign-agent ablation), ``x1``-``x7`` (extensions; ``x4`` is the
 sharded 100-1000-host home-agent fleet sweep, ``x5`` the fault-injection
-chaos sweep, ``x6`` the TCP congestion-control sweep).
+chaos sweep, ``x6`` the TCP congestion-control sweep, ``x7`` the
+10^3-10^6 aggregate fleet-scale sweep).
 
 ``--jobs N`` runs each experiment's independent trials across N worker
 processes; reports are byte-identical to ``--jobs 1`` (seeds are
@@ -52,6 +54,7 @@ from repro.experiments.exp_autoswitch import run_autoswitch_experiment
 from repro.experiments.exp_chaos import run_chaos_experiment
 from repro.experiments.exp_device_switch import run_device_switch_experiment
 from repro.experiments.exp_fa_ablation import run_fa_ablation
+from repro.experiments.exp_fleet_scale import run_fleet_scale_experiment
 from repro.experiments.exp_ha_scalability import (
     run_ha_fleet_sweep,
     run_ha_scalability_experiment,
@@ -89,6 +92,9 @@ RUNNERS = {
            lambda jobs: run_chaos_experiment(jobs=jobs).format_report()),
     "x6": ("TCP congestion control: Tahoe/Reno/CUBIC over mobility (extension)",
            lambda jobs: run_tcp_cc_experiment(jobs=jobs).format_report()),
+    "x7": ("Fleet scale: 10^3-10^6 aggregate hosts on a consistent-hash "
+           "home-agent plane (extension)",
+           lambda jobs: run_fleet_scale_experiment(jobs=jobs).format_report()),
 }
 
 
@@ -111,6 +117,8 @@ def _parser() -> argparse.ArgumentParser:
                              "after each experiment")
     parser.add_argument("--figures", action="store_true",
                         help="render ASCII figures 6 and 7 instead")
+    parser.add_argument("--list", action="store_true", dest="list_ids",
+                        help="print every experiment id and title, then exit")
     return parser
 
 
@@ -166,6 +174,10 @@ def main(argv: list) -> int:
 
 def _run(argv: list) -> int:
     args = _parser().parse_args(argv)
+    if args.list_ids:
+        for name, (title, _) in RUNNERS.items():
+            print(f"{name}  {title}")
+        return _flush_stdout()
     if args.jobs < 0:
         print(f"--jobs must be >= 0, got {args.jobs}", file=sys.stderr)
         return 2

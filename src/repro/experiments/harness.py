@@ -1,130 +1,27 @@
-"""Shared experiment machinery: statistics, tables, serialization."""
+"""Shared experiment machinery: statistics, tables, serialization.
+
+The statistics core (Welford accumulators, mergeable :class:`Stats`,
+quantile histograms) lives in :mod:`repro.stats` so lower layers — the
+aggregate workload models, the parallel runner — can use it without
+importing the experiment package; this module re-exports it unchanged
+for the experiment harnesses and existing callers.
+"""
 
 from __future__ import annotations
 
 import dataclasses
 import enum
-import math
-from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Sequence
 
-
-@dataclass(frozen=True)
-class Stats:
-    """Mean/std summary of one measured quantity."""
-
-    count: int
-    mean: float
-    std: float
-    minimum: float
-    maximum: float
-
-    def format_ms(self, precision: int = 2) -> str:
-        """Render as the paper does: ``mean (std)`` in milliseconds."""
-        return f"{self.mean:.{precision}f} ({self.std:.{precision}f})"
-
-
-class Welford:
-    """Single-pass mean/variance accumulator with partial-merge support.
-
-    Welford's online update gives mean and sum-of-squared-deviations in
-    one pass; :meth:`merge` is Chan et al.'s pairwise combination, which
-    lets each shard of a parallel experiment summarize its own samples
-    and the merge step fold the partials into one :class:`Stats` without
-    ever shipping the raw values between processes.
-    """
-
-    __slots__ = ("count", "mean", "m2", "minimum", "maximum")
-
-    def __init__(self) -> None:
-        self.count = 0
-        self.mean = 0.0
-        self.m2 = 0.0
-        self.minimum = math.inf
-        self.maximum = -math.inf
-
-    def add(self, value: float) -> None:
-        """Fold one sample in."""
-        self.count += 1
-        delta = value - self.mean
-        self.mean += delta / self.count
-        self.m2 += delta * (value - self.mean)
-        if value < self.minimum:
-            self.minimum = value
-        if value > self.maximum:
-            self.maximum = value
-
-    def add_many(self, values: Iterable[float]) -> "Welford":
-        """Fold a sequence of samples in; returns self for chaining."""
-        for value in values:
-            self.add(value)
-        return self
-
-    def merge(self, other: "Welford") -> "Welford":
-        """Fold another accumulator's partial state in (Chan et al.)."""
-        if other.count == 0:
-            return self
-        if self.count == 0:
-            self.count = other.count
-            self.mean = other.mean
-            self.m2 = other.m2
-            self.minimum = other.minimum
-            self.maximum = other.maximum
-            return self
-        total = self.count + other.count
-        delta = other.mean - self.mean
-        self.m2 += other.m2 + delta * delta * self.count * other.count / total
-        self.mean += delta * other.count / total
-        self.count = total
-        self.minimum = min(self.minimum, other.minimum)
-        self.maximum = max(self.maximum, other.maximum)
-        return self
-
-    def merge_stats(self, stats: "Stats") -> "Welford":
-        """Fold a finalized :class:`Stats` in (recovers its m2)."""
-        partial = Welford()
-        partial.count = stats.count
-        partial.mean = stats.mean
-        partial.m2 = stats.std * stats.std * max(stats.count - 1, 0)
-        partial.minimum = stats.minimum if stats.count else math.inf
-        partial.maximum = stats.maximum if stats.count else -math.inf
-        return self.merge(partial)
-
-    def finalize(self) -> Stats:
-        """The accumulated samples as a :class:`Stats` (sample std)."""
-        if self.count == 0:
-            return Stats(count=0, mean=0.0, std=0.0, minimum=0.0, maximum=0.0)
-        variance = self.m2 / (self.count - 1) if self.count > 1 else 0.0
-        return Stats(count=self.count, mean=self.mean,
-                     std=math.sqrt(max(variance, 0.0)),
-                     minimum=self.minimum, maximum=self.maximum)
-
-
-def summarize(values: Sequence[float]) -> Stats:
-    """Mean and *sample* standard deviation of *values* (single pass)."""
-    return Welford().add_many(values).finalize()
-
-
-def merge_stats(parts: Sequence[Stats]) -> Stats:
-    """Combine per-shard :class:`Stats` into one, exactly and in order.
-
-    A single part is returned unchanged (no float round-trip), so a
-    one-shard experiment reports identically to the unsharded original.
-    """
-    parts = [part for part in parts if part.count]
-    if not parts:
-        return Stats(count=0, mean=0.0, std=0.0, minimum=0.0, maximum=0.0)
-    if len(parts) == 1:
-        return parts[0]
-    accumulator = Welford()
-    for part in parts:
-        accumulator.merge_stats(part)
-    return accumulator.finalize()
-
-
-def summarize_ms(values_ns: Sequence[int]) -> Stats:
-    """Summarize nanosecond samples in milliseconds."""
-    return summarize([value / 1_000_000 for value in values_ns])
+from repro.stats import (  # noqa: F401  (re-exported public API)
+    LatencyHistogram,
+    Stats,
+    Welford,
+    merge_histograms,
+    merge_stats,
+    summarize,
+    summarize_ms,
+)
 
 
 def histogram(values: Iterable[int]) -> Dict[int, int]:

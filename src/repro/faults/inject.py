@@ -38,6 +38,7 @@ from repro.sim.engine import Simulator
 from repro.sim.randomness import bernoulli
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.binding_shard import BindingShardPlane
     from repro.core.home_agent import HomeAgentService
     from repro.net.dhcp import DHCPServer
     from repro.net.interface import NetworkInterface
@@ -90,13 +91,15 @@ class FaultInjector:
                  links: Optional[Dict[str, "Link"]] = None,
                  interfaces: Optional[Dict[str, "NetworkInterface"]] = None,
                  home_agent: Optional["HomeAgentService"] = None,
-                 dhcp_server: Optional["DHCPServer"] = None) -> None:
+                 dhcp_server: Optional["DHCPServer"] = None,
+                 plane: Optional["BindingShardPlane"] = None) -> None:
         self.sim = sim
         self.plan = plan
         self.links = links or {}
         self.interfaces = interfaces or {}
         self.home_agent = home_agent
         self.dhcp_server = dhcp_server
+        self.plane = plane
         #: Activations so far, by event kind (reports read this).
         self.injected: Dict[str, int] = {}
         self._armed = False
@@ -117,6 +120,18 @@ class FaultInjector:
         return cls(testbed.sim, plan, links=links, interfaces=interfaces,
                    home_agent=testbed.home_agent,
                    dhcp_server=testbed.dhcp_server)
+
+    @classmethod
+    def for_plane(cls, plane: "BindingShardPlane",
+                  plan: FaultPlan) -> "FaultInjector":
+        """Wire an injector to a sharded home-agent plane.
+
+        :class:`~repro.faults.plan.HomeAgentRestart` events carrying an
+        ``agent`` name crash that replica through the plane (and its
+        takeover path); other fault kinds need the component maps of the
+        full constructor.
+        """
+        return cls(plane.sim, plan, plane=plane)
 
     # ---------------------------------------------------------------- arming
 
@@ -149,12 +164,24 @@ class FaultInjector:
                          interface.flap(event.down_for)),
                 label="fault:flap")
         elif isinstance(event, HomeAgentRestart):
-            agent = self._require(self.home_agent, "home agent", event)
-            self.sim.call_at(
-                event.at,
-                lambda: (self._activate(event),
-                         agent.crash(event.down_for)),
-                label="fault:ha-restart")
+            if event.agent:
+                plane = self._require(self.plane, "binding-shard plane", event)
+                if event.agent not in plane.agents:
+                    raise ValueError(
+                        f"fault plan restarts unknown agent {event.agent!r}; "
+                        f"known: {sorted(plane.agents)}")
+                self.sim.call_at(
+                    event.at,
+                    lambda: (self._activate(event, agent=event.agent),
+                             plane.crash(event.agent, event.down_for)),
+                    label="fault:ha-restart")
+            else:
+                agent = self._require(self.home_agent, "home agent", event)
+                self.sim.call_at(
+                    event.at,
+                    lambda: (self._activate(event),
+                             agent.crash(event.down_for)),
+                    label="fault:ha-restart")
         elif isinstance(event, DhcpOutage):
             server = self._require(self.dhcp_server, "DHCP server", event)
 

@@ -69,10 +69,17 @@ class InterfaceFlap:
 
 @dataclass(frozen=True)
 class HomeAgentRestart:
-    """Crash the home agent at ``at``, losing all bindings; recover later."""
+    """Crash a home agent at ``at``, losing all bindings; recover later.
+
+    ``agent`` selects a named replica on a
+    :class:`~repro.core.binding_shard.BindingShardPlane` (the injector
+    must then be built with a plane); the default empty string targets
+    the topology's single home agent, exactly as before.
+    """
 
     at: int
     down_for: int
+    agent: str = ""
 
     kind = "home_agent_restart"
 

@@ -1,9 +1,17 @@
-"""Measurement workloads: the traffic the paper's experiments generate."""
+"""Measurement workloads: the traffic the paper's experiments generate.
 
+:mod:`repro.workloads.aggregate` scales past per-host simulation: an
+:class:`AggregateHostModel` statistically represents N mobile hosts
+(Poisson registration arrivals, binding churn, tunnel volume) for the
+10^5-10^6-host fleet experiments.
+"""
+
+from repro.workloads.aggregate import AggregateHostModel
 from repro.workloads.udp_echo import UdpEchoResponder, UdpEchoStream
 from repro.workloads.tcp_session import TcpBulkReceiver, TcpBulkSender
 
 __all__ = [
+    "AggregateHostModel",
     "UdpEchoResponder",
     "UdpEchoStream",
     "TcpBulkSender",

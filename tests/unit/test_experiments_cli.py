@@ -51,7 +51,28 @@ def test_jobs_output_matches_serial(capsys):
 
 def test_runner_table_covers_all_documented_ids():
     assert set(RUNNERS) == {"e1", "f6", "f7", "f3", "a1",
-                            "x1", "x2", "x3", "x4", "x5", "x6"}
+                            "x1", "x2", "x3", "x4", "x5", "x6", "x7"}
     for name, (title, runner) in RUNNERS.items():
         assert callable(runner)
         assert title
+
+
+def test_unknown_id_error_names_x7(capsys):
+    assert main(["nope"]) == 2
+    assert "x7" in capsys.readouterr().err
+
+
+def test_list_flag_prints_every_id_and_exits_zero(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name, (title, _) in RUNNERS.items():
+        assert name in out
+        assert title in out
+
+
+def test_list_flag_runs_nothing(capsys):
+    # --list must be cheap: no experiment output, just the table.
+    assert main(["--list", "f7"]) == 0
+    out = capsys.readouterr().out
+    assert "===" not in out
+    assert "4.79" not in out
