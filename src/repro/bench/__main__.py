@@ -130,6 +130,14 @@ def main(argv: list) -> int:
           f"{fleet['registrations']:,} registrations  "
           f"{fleet['wall_s']:6.2f}s  "
           f"({fleet['regs_per_sec']:,.0f} regs/sec)  {fleet_status}")
+    churn = fleet["audited_churn"]
+    churn_status = ("ok" if churn["rerun_identical"]
+                    and churn["violations"] == 0 else "MISMATCH")
+    print(f"audited churn: {churn['hosts']:,} hosts  "
+          f"{churn['registrations']:,} registrations  "
+          f"{churn['takeovers']} takeovers  "
+          f"{churn['wall_s']:6.2f}s  "
+          f"({churn['regs_per_sec']:,.0f} regs/sec)  {churn_status}")
 
     _write(args.out / "BENCH_engine.json", engine)
     _write(args.out / "BENCH_datapath.json", datapath)
@@ -178,6 +186,24 @@ def main(argv: list) -> int:
     else:
         print(f"fleet bench passed: {fleet['regs_per_sec']:,.0f} regs/sec "
               f"(floor {fleet['min_regs_per_sec']:,.0f}), rerun identical")
+    churn = fleet["audited_churn"]
+    if churn["violations"] != 0:
+        print(f"audited churn FAILED: {churn['violations']} plane "
+              "invariant violation(s)", file=sys.stderr)
+        failed = True
+    elif not churn["meets_floor"]:
+        print(f"audited churn FAILED: {churn['regs_per_sec']:,.0f} regs/sec "
+              f"is below the {churn['min_regs_per_sec']:,.0f} floor",
+              file=sys.stderr)
+        failed = True
+    elif not churn["rerun_identical"]:
+        print("audited churn FAILED: same-seed rerun produced a different "
+              "result", file=sys.stderr)
+        failed = True
+    else:
+        print(f"audited churn passed: zero violations, "
+              f"{churn['regs_per_sec']:,.0f} regs/sec "
+              f"(floor {churn['min_regs_per_sec']:,.0f}), rerun identical")
     return 1 if failed else 0
 
 

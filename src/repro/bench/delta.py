@@ -103,6 +103,8 @@ _HEADLINES = (
      "scenario events/sec"),
     ("BENCH_parallel.json", "total.speedup", "parallel total speedup"),
     ("BENCH_fleet.json", "regs_per_sec", "fleet regs/sec"),
+    ("BENCH_fleet.json", "audited_churn.regs_per_sec",
+     "audited churn regs/sec"),
 )
 
 

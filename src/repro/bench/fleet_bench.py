@@ -23,6 +23,7 @@ from __future__ import annotations
 import time
 
 from repro.experiments.exp_fleet_scale import run_fleet_scale_experiment
+from repro.experiments.exp_plane_chaos import run_plane_chaos_trial
 
 #: Hosts in the measured fleet (the x7 10^5 row).
 FLEET_HOSTS = 100_000
@@ -33,6 +34,17 @@ QUICK_FLEET_HOSTS = 20_000
 #: slow CI runners from flaking while still catching a return to
 #: per-host simulation (which runs ~100x slower).
 MIN_REGS_PER_SEC = 10_000.0
+
+#: Hosts in the audited-churn stage (one full-chaos x8 shard: join,
+#: drain, partition and crash under live per-event registration load,
+#: gated by the plane invariant auditor).
+CHURN_HOSTS = 250
+QUICK_CHURN_HOSTS = 100
+#: Gating floor for the audited-churn stage, in *real* registration
+#: exchanges per wall-clock second.  The reference run clears ~900/s at
+#: 10^3 hosts; ~9x headroom absorbs slow runners while still catching a
+#: regression to O(ports) per-packet scans on the hub router.
+MIN_CHURN_REGS_PER_SEC = 100.0
 
 
 def run_fleet_bench(quick: bool = False,
@@ -51,7 +63,9 @@ def run_fleet_bench(quick: bool = False,
 
     point = report.points[0]
     regs_per_sec = point.registrations / wall_s if wall_s > 0 else 0.0
+    churn = run_audited_churn_stage(quick=quick)
     return {
+        "audited_churn": churn,
         "fleet_hosts": fleet,
         "agents": point.agents,
         "registrations": point.registrations,
@@ -62,5 +76,46 @@ def run_fleet_bench(quick: bool = False,
         "min_regs_per_sec": min_regs_per_sec,
         "meets_floor": regs_per_sec >= min_regs_per_sec,
         "rerun_identical": rendered == rerun,
+        "quick": quick,
+    }
+
+
+def run_audited_churn_stage(quick: bool = False,
+                            min_regs_per_sec: float = MIN_CHURN_REGS_PER_SEC
+                            ) -> dict:
+    """Time one full-chaos x8 shard under the plane invariant auditor.
+
+    This is the per-event counterweight to the aggregate row above: real
+    :class:`~repro.core.registration.RegistrationClient` traffic against
+    a replica plane taking a join, a drain, a partition and a crash.
+    The stage gates on zero :class:`~repro.faults.auditor.AuditViolation`
+    findings (the trial raises otherwise), a same-seed byte-identical
+    rerun, and an exchanges-per-second floor.
+    """
+    hosts = QUICK_CHURN_HOSTS if quick else CHURN_HOSTS
+
+    def cell() -> dict:
+        return run_plane_chaos_trial(fleet_size=hosts, n_hosts=hosts,
+                                     host_offset=0, churn=True,
+                                     partition=True, seed=71)
+
+    start = time.perf_counter()
+    result = cell()
+    wall_s = time.perf_counter() - start
+    rerun = cell()
+
+    regs_per_sec = result["accepted"] / wall_s if wall_s > 0 else 0.0
+    return {
+        "hosts": hosts,
+        "registrations": result["accepted"],
+        "takeovers": result["takeovers"],
+        "stale_served": result["stale_served"],
+        "faults_injected": result["faults_injected"],
+        "violations": result["violations"],
+        "wall_s": wall_s,
+        "regs_per_sec": regs_per_sec,
+        "min_regs_per_sec": min_regs_per_sec,
+        "meets_floor": regs_per_sec >= min_regs_per_sec,
+        "rerun_identical": result == rerun,
         "quick": quick,
     }

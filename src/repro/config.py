@@ -151,6 +151,27 @@ class FleetTimings:
     #: from an M/D/1 waiting time, which diverges at rho = 1; beyond the
     #: cap the model reports saturation rather than infinities.
     utilization_cap: float = 0.95
+    #: Bounded-staleness degraded mode: while an address's provisioned
+    #: replicas are unreachable, any reachable plane member may answer
+    #: data-plane lookups from the plane's replicated (possibly stale)
+    #: binding.  Off by default — lookups simply miss during takeover,
+    #: exactly the pre-existing behaviour.
+    stale_serve: bool = False
+    #: Hard staleness cap, ns: a replicated binding older than this is
+    #: never served stale (the consistency bound of the degraded mode).
+    stale_serve_cap: int = ms(30_000)
+    #: Deadline, ns, within which every binding disturbed by a fault
+    #: (crash, partition, membership change) must be re-won at a live
+    #: reachable replica.  The :class:`repro.faults.auditor.PlaneAuditor`
+    #: raises when a binding misses it.
+    convergence_deadline: int = ms(8_000)
+    #: Base delay, ns, before a host re-resolves its responsible replica
+    #: and re-registers after a terminal registration failure.
+    reregister_delay: int = ms(1_500)
+    #: Fractional jitter (uniform +/-) on ``reregister_delay``, drawn per
+    #: host from a splitmix64 stream keyed by global host index, so a
+    #: replica crash never synchronizes a fleet-wide retry storm.
+    reregister_jitter: float = 0.5
 
 
 @dataclass(frozen=True)

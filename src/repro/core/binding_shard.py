@@ -32,10 +32,22 @@ from __future__ import annotations
 
 import hashlib
 from bisect import bisect_right
-from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Mapping, Optional
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from repro.config import Config, DEFAULT_CONFIG
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.home_agent import HomeAgentService
+    from repro.net.addressing import IPAddress
     from repro.sim.engine import Simulator
 
 _SPACE = 1 << 64
@@ -226,17 +238,43 @@ class BindingShardPlane:
     def __init__(self, sim: "Simulator",
                  agents: Mapping[str, "HomeAgentService"], *,
                  replication: int = DEFAULT_REPLICATION,
-                 vnodes: int = DEFAULT_VNODES) -> None:
+                 vnodes: int = DEFAULT_VNODES,
+                 spares: Optional[Mapping[str, "HomeAgentService"]] = None,
+                 config: Config = DEFAULT_CONFIG) -> None:
         if not agents:
             raise ValueError("a binding-shard plane needs at least one agent")
         if replication <= 0:
             raise ValueError(f"replication must be positive, got {replication}")
         self.sim = sim
+        self.config = config
         self.agents: Dict[str, "HomeAgentService"] = dict(agents)
+        #: Standby replicas a :class:`~repro.faults.plan.ReplicaJoin` (or a
+        #: direct :meth:`add_replica`) can promote into the plane by name.
+        self.spares: Dict[str, "HomeAgentService"] = dict(spares or {})
+        overlap = set(self.agents) & set(self.spares)
+        if overlap:
+            raise ValueError(f"agents also listed as spares: {sorted(overlap)}")
+        self._requested_replication = replication
         self.replication = min(replication, len(self.agents))
         self.ring = HashRing(self.agents, vnodes=vnodes)
         self.takeovers = 0
+        self.stale_served = 0
         self._provisioned: Dict[str, set] = {}
+        #: Every address ever served, for re-provisioning on membership
+        #: changes (sorted iteration keeps those deterministic).
+        self._served_addresses: set = set()
+        #: Replica names currently partitioned away from the hosts.
+        self._partitioned: set = set()
+        #: Current takeover replica per address (edge accounting: a
+        #: takeover is counted when responsibility *moves*, not per call).
+        self._takeover_from: Dict[str, str] = {}
+        #: The plane's replicated binding copies: str(home) -> (care-of,
+        #: updated-at, origin replica).  Fed by the agents'
+        #: ``on_binding_change`` hooks; serves the bounded-staleness
+        #: degraded mode and survives origin crashes (that is the point).
+        self._replicated: Dict[str, Tuple["IPAddress", int, str]] = {}
+        for name, agent in self.agents.items():
+            self._install_sync(name, agent)
 
     # ------------------------------------------------------------- provision
 
@@ -246,42 +284,68 @@ class BindingShardPlane:
 
     def serve(self, home_address: object) -> List[str]:
         """Authorize service for *home_address* on all its replicas."""
+        self._served_addresses.add(home_address)
         names = self.owners(home_address)
         for name in names:
-            self.agents[name].serve(home_address)
-            provisioned = self._provisioned.setdefault(name, set())
-            if home_address not in provisioned:
-                provisioned.add(home_address)
-                # Lazy per-shard gauge: distinct addresses provisioned here.
-                gauge = self.sim.metrics.gauge("binding_shard", "served",
-                                               agent=name)
-                gauge.value += 1
+            self._provision(name, home_address)
         return names
+
+    def _provision(self, name: str, home_address: object) -> None:
+        provisioned = self._provisioned.setdefault(name, set())
+        if home_address in provisioned:
+            return
+        self.agents[name].serve(home_address)
+        provisioned.add(home_address)
+        # Lazy per-shard gauge: distinct addresses provisioned here.
+        gauge = self.sim.metrics.gauge("binding_shard", "served", agent=name)
+        gauge.value += 1
+
+    def _reprovision(self) -> None:
+        """Re-derive every served address's owners after a ring change."""
+        for home_address in sorted(self._served_addresses, key=str):
+            for name in self.owners(home_address):
+                self._provision(name, home_address)
 
     # ---------------------------------------------------------------- lookup
 
-    def agent_for(self, home_address: object) -> Optional["HomeAgentService"]:
-        """The live replica currently responsible for *home_address*.
+    def reachable(self, name: str) -> bool:
+        """True when the named replica is a live, unpartitioned member."""
+        agent = self.agents.get(name)
+        return (agent is not None and not agent.is_down
+                and name not in self._partitioned)
 
-        The primary when it is up; otherwise the next live replica
-        clockwise (takeover).  ``None`` when every replica is down.
+    def agent_for(self, home_address: object) -> Optional["HomeAgentService"]:
+        """The reachable replica currently responsible for *home_address*.
+
+        The primary when it is up and unpartitioned; otherwise the next
+        reachable replica clockwise (takeover).  ``None`` when every
+        replica is unreachable.  Takeovers are counted on *transitions* —
+        responsibility moving to a (different) non-primary replica — so
+        polling this during one continuous outage counts one takeover,
+        and a fault-free run never touches the takeover counters.
         """
         names = self.owners(home_address)
         primary = names[0]
+        key = str(home_address)
         for name in names:
-            agent = self.agents[name]
-            if not agent.is_down:
-                if name != primary:
+            if self.reachable(name):
+                if name == primary:
+                    self._takeover_from.pop(key, None)
+                elif self._takeover_from.get(key) != name:
+                    self._takeover_from[key] = name
                     self._count_takeover(primary, name)
-                return agent
-        # Every provisioned replica is down: any live ring member may
-        # take over (it will accept re-registrations once provisioned).
+                return self.agents[name]
+        # Every provisioned replica is unreachable: any reachable ring
+        # member may take over (it accepts re-registrations once
+        # provisioned).
         try:
-            name = self.ring.lookup(str(home_address),
-                                    avoid=lambda n: self.agents[n].is_down)
+            name = self.ring.lookup(key,
+                                    avoid=lambda n: not self.reachable(n))
         except LookupError:
             return None
-        self._count_takeover(primary, name)
+        if self._takeover_from.get(key) != name:
+            self._takeover_from[key] = name
+            self._count_takeover(primary, name)
         return self.agents[name]
 
     def _count_takeover(self, primary: str, takeover: str) -> None:
@@ -291,6 +355,170 @@ class BindingShardPlane:
         counter.value += 1
         self.sim.trace.emit("binding_shard", "takeover",
                             primary=primary, takeover=takeover)
+
+    def lookup_binding(self, home_address: object
+                       ) -> Optional[Tuple["IPAddress", str]]:
+        """Resolve *home_address* to its care-of address, if anyone can.
+
+        Returns ``(care_of, source)`` where ``source`` is
+        ``"authoritative"`` (the responsible replica's live binding) or
+        ``"stale"`` (the bounded-staleness degraded mode: the replicated
+        copy, served because the authoritative lookup missed while
+        :attr:`~repro.config.FleetTimings.stale_serve` is enabled and the
+        copy is younger than
+        :attr:`~repro.config.FleetTimings.stale_serve_cap`).  ``None``
+        when nobody can answer.
+        """
+        agent = self.agent_for(home_address)
+        if agent is not None and hasattr(agent, "bindings"):
+            binding = agent.bindings.get(home_address)
+            if binding is not None:
+                return (binding.care_of_address, "authoritative")
+        fleet = self.config.fleet
+        if not fleet.stale_serve:
+            return None
+        record = self._replicated.get(str(home_address))
+        if record is None:
+            return None
+        care_of, updated_at, origin = record
+        if self.sim.now - updated_at > fleet.stale_serve_cap:
+            return None
+        self.stale_served += 1
+        self.sim.metrics.counter("binding_shard", "stale_served").value += 1
+        self.sim.trace.emit("binding_shard", "stale_served",
+                            home_address=str(home_address),
+                            origin=origin,
+                            age_ms=(self.sim.now - updated_at) / 1e6)
+        return (care_of, "stale")
+
+    # ------------------------------------------------------------ replication
+
+    def _install_sync(self, name: str, agent: "HomeAgentService") -> None:
+        """Feed the plane's replicated copies from an agent's registrations.
+
+        Duck-typed replicas without the hook (unit-test fakes) simply do
+        not replicate — every pre-existing behaviour is preserved.
+        """
+        if hasattr(agent, "on_binding_change"):
+            agent.on_binding_change = (
+                lambda home, binding, name=name:
+                self._on_binding_change(name, home, binding))
+
+    def _on_binding_change(self, name: str, home_address: "IPAddress",
+                           binding) -> None:
+        key = str(home_address)
+        if binding is None:
+            self._replicated.pop(key, None)
+            return
+        self._replicated[key] = (binding.care_of_address, self.sim.now, name)
+        # A fresh registration supersedes every other *reachable* copy of
+        # the binding: leaving one alive would double-own the address.
+        # Unreachable copies cannot be touched (that is what makes a
+        # partition nasty); they are reconciled when the partition heals.
+        for other_name, other in self.agents.items():
+            if other_name == name or not self.reachable(other_name):
+                continue
+            if hasattr(other, "flush_binding") and hasattr(other, "bindings"):
+                if other.bindings.get(home_address) is not None:
+                    other.flush_binding(home_address)
+
+    # ------------------------------------------------------------ membership
+
+    def add_replica(self, name: str,
+                    agent: Optional["HomeAgentService"] = None
+                    ) -> "HomeAgentService":
+        """Promote a spare (crash-join) into the plane under live load.
+
+        The joiner arrives empty: the addresses its arcs now own are
+        (re-)provisioned on it immediately, and their *bindings* are won
+        back through ordinary re-registration — exactly how a rebooted
+        replica would rejoin.  ``agent`` defaults to the plane's
+        ``spares`` entry for *name*.
+        """
+        if name in self.agents:
+            raise ValueError(f"plane already has agent {name!r}; "
+                             f"members: {sorted(self.agents)}")
+        if agent is None:
+            agent = self.spares.get(name)
+            if agent is None:
+                raise ValueError(
+                    f"plane has no spare {name!r}; "
+                    f"spares: {sorted(self.spares)}, "
+                    f"members: {sorted(self.agents)}")
+        self.spares.pop(name, None)
+        self.agents[name] = agent
+        self.ring.add(name)
+        self.replication = min(self._requested_replication, len(self.agents))
+        self._install_sync(name, agent)
+        self._reprovision()
+        self.sim.metrics.counter("binding_shard", "joins").value += 1
+        self.sim.trace.emit("binding_shard", "join", agent=name,
+                            members=len(self.agents))
+        return agent
+
+    def drain_replica(self, name: str) -> int:
+        """Gracefully remove a replica: re-serve and hand over, then leave.
+
+        The drained replica's addresses are provisioned on their new
+        owners first, its live bindings are *adopted* by the reachable
+        new primary (remaining lifetime preserved), and only then does it
+        stop serving — so a planned departure moves every binding without
+        a re-registration storm.  Returns the number of bindings moved.
+        The drained agent goes back into ``spares`` (it can rejoin).
+        """
+        agent = self.agents.get(name)
+        if agent is None:
+            raise ValueError(f"plane has no agent {name!r}; "
+                             f"known: {sorted(self.agents)}")
+        if len(self.agents) == 1:
+            raise ValueError(f"cannot drain {name!r}: it is the plane's "
+                             "last replica")
+        # Announced before any state moves so auditors retire the member
+        # first and see the hand-over records against the new membership.
+        self.sim.trace.emit("binding_shard", "drain", agent=name,
+                            members=len(self.agents) - 1)
+        del self.agents[name]
+        self.ring.remove(name)
+        self._partitioned.discard(name)
+        if hasattr(agent, "partitioned"):
+            agent.partitioned = False
+        self.replication = min(self._requested_replication, len(self.agents))
+        provisioned = self._provisioned.pop(name, set())
+        self._reprovision()
+        moved = 0
+        if hasattr(agent, "bindings"):
+            for binding in sorted(agent.bindings.all_active(),
+                                  key=lambda b: str(b.home_address)):
+                target_name = self._adoption_target(binding.home_address)
+                if target_name is None:
+                    continue  # unreachable plane: hosts must re-win later
+                target = self.agents[target_name]
+                if not hasattr(target, "adopt_binding"):
+                    continue
+                if target.adopt_binding(binding):
+                    self._replicated[str(binding.home_address)] = (
+                        binding.care_of_address, self.sim.now, target_name)
+                    moved += 1
+        if hasattr(agent, "stops_serving"):
+            for home_address in sorted(provisioned, key=str):
+                agent.stops_serving(home_address)
+        gauge = self.sim.metrics.gauge("binding_shard", "served", agent=name)
+        gauge.value = 0
+        self.spares[name] = agent
+        self.sim.metrics.counter("binding_shard", "drains").value += 1
+        self.sim.trace.emit("binding_shard", "drained", agent=name,
+                            moved=moved)
+        return moved
+
+    def _adoption_target(self, home_address: object) -> Optional[str]:
+        for name in self.owners(home_address):
+            if self.reachable(name):
+                return name
+        try:
+            return self.ring.lookup(str(home_address),
+                                    avoid=lambda n: not self.reachable(n))
+        except LookupError:
+            return None
 
     # ---------------------------------------------------------------- faults
 
@@ -303,6 +531,77 @@ class BindingShardPlane:
                              f"known: {sorted(self.agents)}")
         agent.crash(down_for, on_recovered=on_recovered)
 
+    def partition(self, names: Iterable[str], duration: int) -> None:
+        """Make the named replicas unreachable for *duration*, state intact.
+
+        Unlike :meth:`crash`, nothing is lost: the partitioned replicas
+        keep their bindings and keep believing they own them — by heal
+        time that state is stale, and the plane reconciles it (newest
+        registration wins, older copies are flushed).
+        """
+        requested = sorted(set(names))
+        unknown = [name for name in requested if name not in self.agents]
+        if unknown:
+            raise ValueError(f"plane cannot partition unknown agents "
+                             f"{unknown}; known: {sorted(self.agents)}")
+        fresh = [name for name in requested if name not in self._partitioned]
+        if not fresh:
+            return
+        self._partitioned.update(fresh)
+        for name in fresh:
+            agent = self.agents[name]
+            if hasattr(agent, "partitioned"):
+                agent.partitioned = True
+        self.sim.metrics.counter("binding_shard", "partitions").value += 1
+        self.sim.trace.emit("binding_shard", "partition",
+                            agents=",".join(fresh))
+        self.sim.call_later(duration, lambda: self._heal(fresh),
+                            label="plane-heal")
+
+    def _heal(self, names: List[str]) -> None:
+        flushed = 0
+        healed = [name for name in names if name in self._partitioned]
+        self._partitioned.difference_update(healed)
+        for name in healed:
+            agent = self.agents.get(name)
+            if agent is not None and hasattr(agent, "partitioned"):
+                agent.partitioned = False
+        # Reconciliation: for every binding a healed replica still holds,
+        # the *newest* registration among reachable holders wins; older
+        # copies — usually the healed replica's, superseded while it was
+        # away — are flushed so no address stays double-owned.
+        for name in healed:
+            agent = self.agents.get(name)
+            if agent is None or not hasattr(agent, "bindings"):
+                continue
+            for binding in sorted(agent.bindings.all_active(),
+                                  key=lambda b: str(b.home_address)):
+                flushed += self._reconcile(binding.home_address)
+        self.sim.trace.emit("binding_shard", "healed",
+                            agents=",".join(healed), flushed=flushed)
+
+    def _reconcile(self, home_address: "IPAddress") -> int:
+        """Flush all but the newest reachable copy of one binding."""
+        holders = []
+        for name in sorted(self.agents):
+            if not self.reachable(name):
+                continue
+            agent = self.agents[name]
+            if not hasattr(agent, "bindings"):
+                continue
+            binding = agent.bindings.get(home_address)
+            if binding is not None:
+                holders.append((binding.registered_at, name, agent))
+        if len(holders) <= 1:
+            return 0
+        holders.sort(key=lambda entry: (entry[0], entry[1]))
+        flushed = 0
+        for _, _, agent in holders[:-1]:
+            if hasattr(agent, "flush_binding"):
+                agent.flush_binding(home_address)
+                flushed += 1
+        return flushed
+
     def is_down(self, name: str) -> bool:
         """True while the named replica is crashed."""
         return self.agents[name].is_down
@@ -311,3 +610,7 @@ class BindingShardPlane:
         """Names of currently crashed replicas, sorted."""
         return sorted(name for name, agent in self.agents.items()
                       if agent.is_down)
+
+    def partitioned_agents(self) -> List[str]:
+        """Names of currently partitioned replicas, sorted."""
+        return sorted(self._partitioned)

@@ -45,11 +45,15 @@ class MobilityBindingTable:
     """
 
     def __init__(self, sim: Simulator,
-                 on_expire: Optional[Callable[[MobilityBinding], None]] = None) -> None:
+                 on_expire: Optional[Callable[[MobilityBinding], None]] = None,
+                 owner: str = "") -> None:
         self._sim = sim
         self._bindings: Dict[IPAddress, MobilityBinding] = {}
         self._expiry_events: Dict[IPAddress, Event] = {}
         self.on_expire = on_expire
+        #: Name of the agent holding this table; stamped on expiry trace
+        #: records so plane-level auditors can attribute them.
+        self.owner = owner
 
     def __len__(self) -> int:
         return len(self._bindings)
@@ -115,6 +119,7 @@ class MobilityBindingTable:
         del self._bindings[home_address]
         self._expiry_events.pop(home_address, None)
         self._sim.trace.emit("binding", "expired",
+                             agent=self.owner,
                              home_address=str(home_address),
                              care_of=str(binding.care_of_address))
         if self.on_expire is not None:

@@ -60,7 +60,8 @@ class HomeAgentService:
         self.vif: VirtualInterface = install_tunnel(host, name="vif.ha")
         self.vif.endpoint_selector = self._select_endpoints
         self.bindings = MobilityBindingTable(host.sim,
-                                             on_expire=self._binding_expired)
+                                             on_expire=self._binding_expired,
+                                             owner=host.name)
         self._served: Set[IPAddress] = set()
         #: Optional registration authentication (Section 5.1's ask); when
         #: set, provisioned mobile hosts must present valid MACs.
@@ -70,6 +71,16 @@ class HomeAgentService:
         self.reply_filter: Optional[Callable[[RegistrationReply], bool]] = None
         #: True while the agent is crashed: requests fall on the floor.
         self._down = False
+        #: True while the agent is partitioned away from the hosts: its
+        #: state survives (unlike a crash) but datagrams are dropped, so
+        #: whatever it knew is stale by the time the partition heals.
+        self.partitioned = False
+        #: Replication hook: fires after every accepted (de)registration
+        #: with ``(home_address, binding_or_None)``.  The binding-shard
+        #: plane uses it to keep a replicated copy and to supersede other
+        #: replicas' copies; None leaves the agent standalone.
+        self.on_binding_change: Optional[
+            Callable[[IPAddress, Optional[MobilityBinding]], None]] = None
         self._intercept_routes: Dict[IPAddress, RouteEntry] = {}
         self._rng = host.sim.rng(f"home-agent:{host.name}")
         # Registrations are processed one at a time (one CPU): a burst of
@@ -132,6 +143,17 @@ class HomeAgentService:
                                 host=self.host.name,
                                 ident=request.identification)
             return
+        if self.partitioned:
+            # Dropped before any counter moves: to the hosts a partitioned
+            # agent is indistinguishable from a dead one, but its own
+            # statistics and bindings live on.  Lazy counter so runs that
+            # never partition keep an unchanged metrics snapshot.
+            self.sim.metrics.counter("home_agent", "partition_drops",
+                                     host=self.host.name).value += 1
+            self.sim.trace.emit("registration", "ha_partition_drop",
+                                host=self.host.name,
+                                ident=request.identification)
+            return
         self.requests_received += 1
         self._received_counter.value += 1
         timings = self.config.registration
@@ -165,6 +187,12 @@ class HomeAgentService:
                              self.config.jitter)
 
         def transmit_reply() -> None:
+            if self.partitioned:
+                # The partition cut both directions mid-exchange.
+                self.sim.trace.emit("registration", "ha_partition_drop",
+                                    host=self.host.name,
+                                    ident=request.identification)
+                return
             if self.reply_filter is not None and not self.reply_filter(reply):
                 self.replies_dropped += 1
                 # Created lazily so fault-free runs keep an unchanged
@@ -202,13 +230,21 @@ class HomeAgentService:
         return CODE_ACCEPTED
 
     def _register(self, request: RegistrationRequest) -> None:
-        self.bindings.register(request.home_address, request.care_of_address,
-                               request.lifetime, request.identification,
-                               request.authenticator)
+        binding = self.bindings.register(request.home_address,
+                                         request.care_of_address,
+                                         request.lifetime,
+                                         request.identification,
+                                         request.authenticator)
         self._install_intercept(request.home_address)
         self.registrations_accepted += 1
         self._accepted_counter.value += 1
+        # The replication hook fires before the trace record, so a plane
+        # superseding other replicas' copies emits their "flushed" records
+        # ahead of this "registered" one — auditors see a consistent order.
+        if self.on_binding_change is not None:
+            self.on_binding_change(request.home_address, binding)
         self.sim.trace.emit("binding", "registered",
+                            agent=self.host.name,
                             home_address=str(request.home_address),
                             care_of=str(request.care_of_address),
                             lifetime_ms=request.lifetime / 1_000_000)
@@ -218,8 +254,55 @@ class HomeAgentService:
         self._remove_intercept(request.home_address)
         self.deregistrations += 1
         self._deregistered_counter.value += 1
+        if self.on_binding_change is not None:
+            self.on_binding_change(request.home_address, None)
         self.sim.trace.emit("binding", "deregistered",
+                            agent=self.host.name,
                             home_address=str(request.home_address))
+
+    # ------------------------------------------------------------- replication
+
+    def flush_binding(self, home_address: IPAddress) -> bool:
+        """Drop a (superseded) binding and its intercept state, if held.
+
+        The binding-shard plane calls this when another replica has won a
+        *newer* registration for the address: keeping the old copy alive
+        would leave the home address double-owned.  Returns True if a
+        binding was actually removed.
+        """
+        binding = self.bindings.deregister(home_address)
+        if binding is None:
+            return False
+        self._remove_intercept(home_address)
+        self.sim.metrics.counter("home_agent", "bindings_flushed",
+                                 host=self.host.name).value += 1
+        self.sim.trace.emit("binding", "flushed", agent=self.host.name,
+                            home_address=str(home_address),
+                            care_of=str(binding.care_of_address))
+        return True
+
+    def adopt_binding(self, binding: MobilityBinding) -> bool:
+        """Take over a live binding handed across by a draining replica.
+
+        The remaining lifetime is preserved (the mobile host's next
+        renewal lands here through the plane's lookup), and the intercept
+        machinery comes up exactly as for a fresh registration.  Expired
+        bindings are refused.
+        """
+        remaining = binding.remaining(self.sim.now)
+        if remaining <= 0:
+            return False
+        self.serve(binding.home_address)
+        self.bindings.register(binding.home_address, binding.care_of_address,
+                               remaining, binding.identification,
+                               binding.authenticator)
+        self._install_intercept(binding.home_address)
+        self.sim.metrics.counter("home_agent", "bindings_adopted",
+                                 host=self.host.name).value += 1
+        self.sim.trace.emit("binding", "adopted", agent=self.host.name,
+                            home_address=str(binding.home_address),
+                            care_of=str(binding.care_of_address))
+        return True
 
     # --------------------------------------------------------------- intercept
 

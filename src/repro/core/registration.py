@@ -178,18 +178,24 @@ class RegistrationClient:
                  on_fail: Optional[Callable[[], None]] = None,
                  lifetime: Optional[int] = None,
                  via: Optional["NetworkInterface"] = None,
-                 destination: Optional[IPAddress] = None) -> RegistrationRequest:
+                 destination: Optional[IPAddress] = None,
+                 home_agent: Optional[IPAddress] = None) -> RegistrationRequest:
         """Send a registration request; retransmit until replied or spent.
 
         ``destination`` overrides where the request is physically sent (the
         foreign-agent baseline sends it to the FA, which relays it).
+        ``home_agent`` overrides the agent this one request is addressed
+        to — how a host follows a binding-shard plane's takeover and
+        membership changes without rebuilding its client — and defaults
+        to the client's configured agent, leaving every existing caller's
+        wire traffic byte-identical.
         """
         timings = self.config.registration
         granted = lifetime if lifetime is not None else timings.default_lifetime
         request = RegistrationRequest(
             home_address=self.home_address,
             care_of_address=care_of_address,
-            home_agent=self.home_agent,
+            home_agent=home_agent if home_agent is not None else self.home_agent,
             lifetime=granted,
             identification=next(self._idents),
         )
@@ -266,7 +272,8 @@ class RegistrationClient:
         self.registrations_sent += 1
         if pending.transmissions > 1:
             self._retries_counter.value += 1
-        target = destination if destination is not None else self.home_agent
+        target = (destination if destination is not None
+                  else pending.request.home_agent)
         self.sim.trace.emit("registration", "request_sent", host=self.host.name,
                             ident=ident, attempt=pending.transmissions,
                             target=str(target))

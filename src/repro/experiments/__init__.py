@@ -27,6 +27,9 @@ Extension experiments (features the paper names but defers):
   Ethernet-to-radio handoff.
 * :mod:`repro.experiments.exp_fleet_scale` — 10^3-10^6-host fleets on a
   consistent-hash home-agent plane via aggregate host models.
+* :mod:`repro.experiments.exp_plane_chaos` — membership churn,
+  partitions and crashes thrown at the binding plane under live
+  registration load, gated by the plane invariant auditor.
 
 ``python -m repro.experiments`` runs everything and prints paper-style
 reports.
@@ -60,6 +63,10 @@ from repro.experiments.exp_chaos import (
 from repro.experiments.exp_fleet_scale import (
     FleetScaleReport,
     run_fleet_scale_experiment,
+)
+from repro.experiments.exp_plane_chaos import (
+    PlaneChaosReport,
+    run_plane_chaos_experiment,
 )
 from repro.experiments.exp_ha_scalability import (
     HAFleetSweepReport,
@@ -101,4 +108,6 @@ __all__ = [
     "TcpCcReport",
     "run_fleet_scale_experiment",
     "FleetScaleReport",
+    "run_plane_chaos_experiment",
+    "PlaneChaosReport",
 ]

@@ -11,10 +11,11 @@ Usage::
 
 Experiment ids: ``e1`` (same-subnet switch), ``f6`` (device switching),
 ``f7`` (registration time-line), ``f3`` (routing options), ``a1``
-(foreign-agent ablation), ``x1``-``x7`` (extensions; ``x4`` is the
+(foreign-agent ablation), ``x1``-``x8`` (extensions; ``x4`` is the
 sharded 100-1000-host home-agent fleet sweep, ``x5`` the fault-injection
 chaos sweep, ``x6`` the TCP congestion-control sweep, ``x7`` the
-10^3-10^6 aggregate fleet-scale sweep).
+10^3-10^6 aggregate fleet-scale sweep, ``x8`` the audited binding-plane
+chaos grid under live registration load).
 
 ``--jobs N`` runs each experiment's independent trials across N worker
 processes; reports are byte-identical to ``--jobs 1`` (seeds are
@@ -55,6 +56,7 @@ from repro.experiments.exp_chaos import run_chaos_experiment
 from repro.experiments.exp_device_switch import run_device_switch_experiment
 from repro.experiments.exp_fa_ablation import run_fa_ablation
 from repro.experiments.exp_fleet_scale import run_fleet_scale_experiment
+from repro.experiments.exp_plane_chaos import run_plane_chaos_experiment
 from repro.experiments.exp_ha_scalability import (
     run_ha_fleet_sweep,
     run_ha_scalability_experiment,
@@ -95,6 +97,10 @@ RUNNERS = {
     "x7": ("Fleet scale: 10^3-10^6 aggregate hosts on a consistent-hash "
            "home-agent plane (extension)",
            lambda jobs: run_fleet_scale_experiment(jobs=jobs).format_report()),
+    "x8": ("Plane chaos: membership churn, partitions and crashes under "
+           "live registration load, audited (extension)",
+           lambda jobs: run_plane_chaos_experiment(jobs=jobs)
+           .format_report()),
 }
 
 

@@ -8,6 +8,7 @@ the identical fault sequence, serially or sharded across workers; see
 ``docs/ROBUSTNESS.md`` for the fault model and recovery semantics.
 """
 
+from repro.faults.auditor import AuditViolation, PlaneAuditor
 from repro.faults.inject import FaultInjector
 from repro.faults.plan import (
     DhcpOutage,
@@ -17,10 +18,14 @@ from repro.faults.plan import (
     HomeAgentRestart,
     InterfaceFlap,
     LossBurst,
+    PlanePartition,
+    ReplicaDrain,
+    ReplicaJoin,
     ReplyDropWindow,
 )
 
 __all__ = [
+    "AuditViolation",
     "FaultInjector",
     "FaultPlan",
     "FaultEvent",
@@ -28,6 +33,10 @@ __all__ = [
     "GilbertElliottPhase",
     "InterfaceFlap",
     "HomeAgentRestart",
+    "ReplicaJoin",
+    "ReplicaDrain",
+    "PlanePartition",
     "DhcpOutage",
+    "PlaneAuditor",
     "ReplyDropWindow",
 ]

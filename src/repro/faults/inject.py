@@ -32,6 +32,9 @@ from repro.faults.plan import (
     HomeAgentRestart,
     InterfaceFlap,
     LossBurst,
+    PlanePartition,
+    ReplicaDrain,
+    ReplicaJoin,
     ReplyDropWindow,
 )
 from repro.sim.engine import Simulator
@@ -166,10 +169,11 @@ class FaultInjector:
         elif isinstance(event, HomeAgentRestart):
             if event.agent:
                 plane = self._require(self.plane, "binding-shard plane", event)
-                if event.agent not in plane.agents:
-                    raise ValueError(
-                        f"fault plan restarts unknown agent {event.agent!r}; "
-                        f"known: {sorted(plane.agents)}")
+                # Spares are acceptable at arm time: a plan may join a
+                # spare and crash it later; the plane still rejects a
+                # crash of a non-member when the event actually fires.
+                self._check_plane_member(plane, event, event.agent,
+                                         "restarts", allow_spares=True)
                 self.sim.call_at(
                     event.at,
                     lambda: (self._activate(event, agent=event.agent),
@@ -182,6 +186,35 @@ class FaultInjector:
                     lambda: (self._activate(event),
                              agent.crash(event.down_for)),
                     label="fault:ha-restart")
+        elif isinstance(event, ReplicaJoin):
+            plane = self._require(self.plane, "binding-shard plane", event)
+            self._check_plane_member(plane, event, event.agent, "joins",
+                                     allow_spares=True)
+            self.sim.call_at(
+                event.at,
+                lambda: (self._activate(event, agent=event.agent),
+                         plane.add_replica(event.agent)),
+                label="fault:replica-join")
+        elif isinstance(event, ReplicaDrain):
+            plane = self._require(self.plane, "binding-shard plane", event)
+            self._check_plane_member(plane, event, event.agent, "drains",
+                                     allow_spares=True)
+            self.sim.call_at(
+                event.at,
+                lambda: (self._activate(event, agent=event.agent),
+                         plane.drain_replica(event.agent)),
+                label="fault:replica-drain")
+        elif isinstance(event, PlanePartition):
+            plane = self._require(self.plane, "binding-shard plane", event)
+            for name in event.agents:
+                self._check_plane_member(plane, event, name, "partitions",
+                                         allow_spares=True)
+            self.sim.call_at(
+                event.at,
+                lambda: (self._activate(event,
+                                        agents=",".join(event.agents)),
+                         plane.partition(event.agents, event.duration)),
+                label="fault:plane-partition")
         elif isinstance(event, DhcpOutage):
             server = self._require(self.dhcp_server, "DHCP server", event)
 
@@ -289,3 +322,21 @@ class FaultInjector:
                 f"fault plan schedules a {event.kind} event but the "
                 f"topology has no {description}")
         return component
+
+    @staticmethod
+    def _check_plane_member(plane, event, name: str, verb: str,
+                            allow_spares: bool = False) -> None:
+        """Arm-time validation: the plan must name a replica the plane knows.
+
+        Membership events may reference spares (a join promotes one; a
+        drain or partition may target a replica a preceding join adds),
+        so their names check against members *and* spares.
+        """
+        known = set(plane.agents)
+        if allow_spares:
+            known |= set(plane.spares)
+        if name not in known:
+            raise ValueError(
+                f"fault plan {verb} unknown agent {name!r}; "
+                f"known replicas: {sorted(plane.agents)}, "
+                f"spares: {sorted(plane.spares)}")

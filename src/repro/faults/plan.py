@@ -85,6 +85,52 @@ class HomeAgentRestart:
 
 
 @dataclass(frozen=True)
+class ReplicaJoin:
+    """Add a spare replica named ``agent`` to the binding-shard plane.
+
+    A crash-join: the joiner arrives empty and wins its arcs' bindings
+    back through ordinary re-registration (the injector must be built
+    with a plane whose ``spares`` map knows the name).
+    """
+
+    at: int
+    agent: str
+
+    kind = "replica_join"
+
+
+@dataclass(frozen=True)
+class ReplicaDrain:
+    """Gracefully drain replica ``agent`` out of the plane at ``at``.
+
+    Unlike a crash, a drain re-serves the leaving replica's addresses on
+    their new owners and hands over its live bindings *before* departure,
+    so no re-registration storm follows.
+    """
+
+    at: int
+    agent: str
+
+    kind = "replica_drain"
+
+
+@dataclass(frozen=True)
+class PlanePartition:
+    """Make the named replica subset unreachable for ``duration``.
+
+    The partitioned replicas are *not* crashed: their binding state
+    survives and is stale by the time the partition heals — the nastier
+    consistency case, which the plane reconciles at heal time.
+    """
+
+    at: int
+    duration: int
+    agents: Tuple[str, ...]
+
+    kind = "plane_partition"
+
+
+@dataclass(frozen=True)
 class DhcpOutage:
     """Take the DHCP server offline for a window (requests are dropped)."""
 
@@ -105,7 +151,8 @@ class ReplyDropWindow:
 
 
 FaultEvent = Union[LossBurst, GilbertElliottPhase, InterfaceFlap,
-                   HomeAgentRestart, DhcpOutage, ReplyDropWindow]
+                   HomeAgentRestart, ReplicaJoin, ReplicaDrain,
+                   PlanePartition, DhcpOutage, ReplyDropWindow]
 
 
 @dataclass(frozen=True)

@@ -50,6 +50,7 @@ class Host:
         iface.host = self
         if iface not in self.interfaces:
             self.interfaces.append(iface)
+            self.ip.invalidate_local_cache()
         return iface
 
     def interface(self, name: str) -> NetworkInterface:

@@ -58,7 +58,7 @@ class NetworkInterface:
         self.host: Optional["Host"] = None
         self._state = InterfaceState.DOWN
         self._addresses: List[IPAddress] = []
-        self.subnet: Optional[Subnet] = None
+        self._subnet: Optional[Subnet] = None
         self._rng = sim.rng(f"device:{name}")
         # Statistics: the loss-accounting backbone of the experiments.
         self.tx_packets = 0
@@ -98,8 +98,21 @@ class NetworkInterface:
         """True if *addr* is configured on this interface."""
         return addr in self._addresses
 
+    @property
+    def subnet(self) -> Optional[Subnet]:
+        """The connected prefix (None until configured)."""
+        return self._subnet
+
+    @subnet.setter
+    def subnet(self, value: Optional[Subnet]) -> None:
+        self._subnet = value
+        if self.host is not None:
+            self.host.ip.invalidate_local_cache()
+
     def add_address(self, addr: IPAddress, make_primary: bool = False) -> None:
         """Install *addr* (an alias) on this interface."""
+        if self.host is not None:
+            self.host.ip.invalidate_local_cache()
         if addr in self._addresses:
             if make_primary:
                 self._addresses.remove(addr)
@@ -117,6 +130,8 @@ class NetworkInterface:
         """Remove *addr*; packets for it are no longer accepted."""
         if addr not in self._addresses:
             return
+        if self.host is not None:
+            self.host.ip.invalidate_local_cache()
         self._addresses.remove(addr)
         self._on_address_removed(addr)
         self.sim.trace.emit("device", "address_removed", interface=self.name,

@@ -62,6 +62,12 @@ class IPStack:
         self.forwarding = False
         self.route_hook: Optional[RouteHook] = None
         self.forward_filter: Optional[ForwardFilter] = None
+        #: Memoized :meth:`is_local` verdicts (addr value -> bool).  A
+        #: hub router owns one interface per attached link, and scanning
+        #: them all per received packet is O(ports) — quadratic across a
+        #: fleet.  Interfaces invalidate the cache on any address or
+        #: subnet change, so mobility (care-of churn) stays correct.
+        self._local_cache: Dict[int, bool] = {}
         self._handlers: Dict[int, ProtocolHandler] = {}
         self._rng = sim.rng(f"ip:{host.name}")
         self._forward_fifo = FifoDelay(sim)
@@ -98,8 +104,20 @@ class IPStack:
             owned.update(iface.addresses)
         return owned
 
+    def invalidate_local_cache(self) -> None:
+        """Drop memoized :meth:`is_local` verdicts (addresses changed)."""
+        self._local_cache.clear()
+
     def is_local(self, addr: IPAddress) -> bool:
         """True if *addr* is one of ours (incl. loopback/broadcast)."""
+        verdict = self._local_cache.get(addr.value)
+        if verdict is None:
+            verdict = self._is_local_scan(addr)
+            if len(self._local_cache) < 65536:
+                self._local_cache[addr.value] = verdict
+        return verdict
+
+    def _is_local_scan(self, addr: IPAddress) -> bool:
         if addr.is_loopback or addr.is_limited_broadcast:
             return True
         for iface in self.host.interfaces:

@@ -97,6 +97,7 @@ class Trace:
         self._records: List[TraceRecord] = []
         self.enabled = True
         self._disabled_categories = set(VERBOSE_CATEGORIES)
+        self._subscribers: List[Any] = []
 
     def wants(self, category: str) -> bool:
         """True if a record in *category* would actually be kept.
@@ -115,13 +116,34 @@ class Trace:
         """Stop recording the given categories (benchmarks, soak runs)."""
         self._disabled_categories.update(categories)
 
+    def subscribe(self, callback: Any) -> None:
+        """Deliver every future record to *callback* as it is emitted.
+
+        Callbacks run synchronously inside :meth:`emit`, in subscription
+        order, and see the record before any :meth:`clear` can recycle it
+        — a subscriber that keeps data must **copy** the fields it needs,
+        never hold the (pooled) record.  With no subscribers the emit
+        path pays a single truthiness check, so runs that never subscribe
+        stay byte-identical and un-slowed.
+        """
+        self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Any) -> None:
+        """Stop delivering records to *callback* (missing is a no-op)."""
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
+
     def emit(self, category: str, event: str, **fields: Any) -> None:
         """Record *event* in *category* at the current virtual time."""
         if not self.enabled or category in self._disabled_categories:
             return
-        self._records.append(
-            TraceRecord.acquire(self._sim.now, category, event, fields)
-        )
+        record = TraceRecord.acquire(self._sim.now, category, event, fields)
+        self._records.append(record)
+        if self._subscribers:
+            for callback in self._subscribers:
+                callback(record)
 
     @property
     def records(self) -> List[TraceRecord]:

@@ -40,9 +40,10 @@ lazy summary counters when run.
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING, Dict, FrozenSet, Optional
+from dataclasses import replace
+from typing import TYPE_CHECKING, Dict, FrozenSet, Optional, Tuple
 
-from repro.config import Config, DEFAULT_CONFIG
+from repro.config import Config, DEFAULT_CONFIG, FleetTimings
 from repro.parallel.seeds import spawn_seed
 from repro.stats import LatencyHistogram, Stats, Welford
 
@@ -86,6 +87,91 @@ class _SplitMix:
 
     def uniform(self, low: float, high: float) -> float:
         return low + (high - low) * self.random()
+
+
+def registration_service_ns(config: Config) -> int:
+    """Home-agent service time per registration (receive+process+send)."""
+    registration = config.registration
+    return (registration.ha_receive_overhead
+            + registration.ha_processing_cost
+            + registration.ha_send_overhead)
+
+
+def agent_mean_waits(config: Config, service_ns: int, fleet_hosts: int,
+                     ring: Optional["HashRing"] = None,
+                     failed: FrozenSet[str] = frozenset()
+                     ) -> Tuple[Dict[Optional[str], float], int]:
+    """M/D/1 mean queueing delay (ns) at each live replica.
+
+    The shared closed form behind :meth:`AggregateHostModel.
+    mean_wait_by_agent` and the x8 cross-validation: utilization of a
+    replica is (hosts it effectively owns) x (service time / mean
+    registration interval); the waiting time of an M/D/1 queue is
+    ``rho * S / (2 (1 - rho))``.  Utilization is capped
+    (:attr:`~repro.config.FleetTimings.utilization_cap`) so an overloaded
+    plane reports a deep-but-finite tail.  Returns ``(waits,
+    saturated_agent_count)``.
+    """
+    fleet = config.fleet
+    interval = float(fleet.mean_registration_interval)
+    service = float(service_ns)
+    waits: Dict[Optional[str], float] = {}
+    if ring is None:
+        shares: Dict[Optional[str], float] = {None: 1.0}
+    else:
+        shares = dict(ring.effective_ownership(failed))
+    saturated = 0
+    for agent, share in shares.items():
+        if ring is not None and agent in failed:
+            continue
+        rho = fleet_hosts * share * service / interval
+        if rho >= fleet.utilization_cap:
+            rho = fleet.utilization_cap
+            saturated += 1
+        waits[agent] = rho * service / (2.0 * (1.0 - rho))
+    return waits, saturated
+
+
+def predicted_latency_ms(config: Config, fleet_hosts: int,
+                         ring: Optional["HashRing"] = None,
+                         failed: FrozenSet[str] = frozenset()) -> float:
+    """Model-predicted mean registration latency, milliseconds.
+
+    Figure 7's decomposition under the fleet calibration: the non-HA
+    network share plus deterministic service time plus the
+    ownership-weighted M/D/1 wait across live replicas.  This is what x8
+    cross-validates against *measured* per-registration round trips from
+    real :class:`~repro.core.registration.RegistrationClient` traffic.
+    """
+    service_ns = registration_service_ns(config)
+    waits, _ = agent_mean_waits(config, service_ns, fleet_hosts, ring, failed)
+    if ring is None:
+        shares: Dict[Optional[str], float] = {None: 1.0}
+    else:
+        shares = ring.effective_ownership(frozenset(failed))
+    weight = sum(shares[agent] for agent in waits)
+    wait = (sum(shares[agent] * waits[agent] for agent in waits) / weight
+            if weight > 0.0 else 0.0)
+    return (float(config.fleet.network_overhead) + service_ns + wait) / 1e6
+
+
+def calibrated_fleet_timings(fleet: FleetTimings, *, registrations: int,
+                             handoffs: int, hosts: int,
+                             horizon_ns: int) -> FleetTimings:
+    """Fit the aggregate model's arrival/churn knobs to measured traffic.
+
+    The churn-calibration hook: given counts measured from a real-traffic
+    run (x8's per-host clients, or production telemetry), return a
+    :class:`~repro.config.FleetTimings` whose Poisson arrival interval
+    and churn probability reproduce the observed rates — closing the loop
+    between the event-level simulation and the 10^6-host aggregate model.
+    Degenerate inputs (no traffic, no hosts) return *fleet* unchanged.
+    """
+    if registrations <= 0 or hosts <= 0 or horizon_ns <= 0:
+        return fleet
+    interval = max(1, int(hosts * horizon_ns / registrations))
+    return replace(fleet, mean_registration_interval=interval,
+                   churn_probability=handoffs / registrations)
 
 
 class AggregateHostModel:
@@ -147,12 +233,9 @@ class AggregateHostModel:
         self.config = config
         #: The model's own named stream; consumed once, for the base seed.
         self._base_seed = sim.rng(f"aggregate:{name}").getrandbits(63)
-        registration = config.registration
         #: Home-agent service time per registration, ns (shared
         #: calibration with the per-host simulation).
-        self.service_ns = (registration.ha_receive_overhead
-                          + registration.ha_processing_cost
-                          + registration.ha_send_overhead)
+        self.service_ns = registration_service_ns(config)
         # Results (filled by run()).
         self.registrations = 0
         self.handoffs = 0

@@ -19,8 +19,12 @@ from repro.experiments import (
     run_same_subnet_experiment,
     run_smart_correspondent_experiment,
 )
+from repro.core.binding_shard import BindingShardPlane
+from repro.experiments import run_plane_chaos_experiment
 from repro.experiments.exp_device_switch import SwitchCase
+from repro.experiments.exp_plane_chaos import run_plane_chaos_trial
 from repro.experiments.harness import as_plain_data
+from repro.faults import AuditViolation
 
 
 def check_report(report) -> None:
@@ -91,6 +95,32 @@ def test_autoswitch_smoke():
     assert len(report.points) == 2
     assert report.points[0].failover_ms < report.points[1].failover_ms
     check_report(report)
+
+
+def test_plane_chaos_smoke():
+    report = run_plane_chaos_experiment(fleet_sizes=(24,), seed=5,
+                                        shard_hosts=24)
+    assert len(report.points) == 4  # churn x partition grid
+    for point in report.points:
+        assert point.violations == 0  # the auditor gate
+        assert point.accepted > 0
+    assert any(point.takeovers > 0 for point in report.points)
+    assert any(point.stale_served > 0 for point in report.points)
+    assert report.calibrated_interval_s > 0
+    check_report(report)
+
+
+def test_plane_chaos_trial_gates_on_the_auditor(monkeypatch):
+    # Deliberately broken takeover accounting: counted, never traced.
+    # The trial itself must refuse to report numbers from such a plane.
+    def silent_takeover(self, primary, takeover):
+        self.takeovers += 1
+
+    monkeypatch.setattr(BindingShardPlane, "_count_takeover",
+                        silent_takeover)
+    with pytest.raises(AuditViolation):
+        run_plane_chaos_trial(fleet_size=24, n_hosts=24, host_offset=0,
+                              churn=False, partition=True, seed=7)
 
 
 def test_as_plain_data_handles_enum_keys():

@@ -56,3 +56,15 @@ class TestGuardHelpers:
         b = canonical_json({"a": 2, "b": 1})
         assert a == b == '{"a":2,"b":1}'
         assert json.loads(a) == {"a": 2, "b": 1}
+
+
+class TestAuditedChurnStage:
+    def test_quick_stage_gates_and_reports(self):
+        from repro.bench.fleet_bench import run_audited_churn_stage
+
+        doc = run_audited_churn_stage(quick=True)
+        assert doc["violations"] == 0
+        assert doc["rerun_identical"]
+        assert doc["faults_injected"] == 4
+        assert doc["registrations"] > 0
+        assert doc["takeovers"] > 0
