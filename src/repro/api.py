@@ -123,7 +123,9 @@ class Scenario:
         ``with_config`` calls — later calls win field-by-field)::
 
             Scenario(seed=7).with_config(tcp_congestion_control="cubic",
-                                         tcp_sack=True)
+                                         tcp_sack=True,
+                                         tcp_flow_control=True,
+                                         tcp_recv_buffer=2048)
 
         Equivalent to passing ``config=DEFAULT_CONFIG.with_overrides(...)``
         to the constructor, so results stay byte-identical with the manual

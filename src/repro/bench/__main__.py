@@ -8,13 +8,14 @@ Usage::
     python -m repro.bench --jobs 4     # worker count for the parallel bench
 
 Runs the engine benchmark, the datapath benchmarks, the same-seed
-determinism guard, the TCP congestion-control comparison, the
+determinism guard, the TCP congestion-control comparison (plus its
+flow-controlled windowed-transfer stage), the
 serial-vs-parallel experiment-suite bench, and the aggregate fleet-scale
 bench, then writes ``BENCH_engine.json``, ``BENCH_datapath.json``,
 ``BENCH_tcp.json``, ``BENCH_parallel.json`` and ``BENCH_fleet.json``.
 The exit status reflects correctness plus two floors: it is non-zero if
-a determinism check fails (the guard, TCP reruns, serial/parallel report
-divergence, or fleet rerun divergence), if the engine speedup vs the
+a determinism check fails (the guard, TCP reruns, the windowed-transfer
+gate, serial/parallel report divergence, or fleet rerun divergence), if the engine speedup vs the
 in-process baseline replica falls below ``--min-speedup`` (default 2.5x;
 0 disables), if fleet registration throughput falls below its
 registrations/sec floor, or if a BENCH file cannot be written.  Absolute
@@ -110,6 +111,13 @@ def main(argv: list) -> int:
         print(f"{cc:<8} goodput {cell['goodput_kbps']:6.1f} kbit/s  "
               f"retrans {cell['retransmits']:>3}  "
               f"{cell['wall_s']:6.2f}s  {status}")
+    windowed = tcp["windowed"]
+    cell = windowed["cell"]
+    status = "ok" if windowed["passed"] else "MISMATCH"
+    print(f"windowed goodput {cell['goodput_kbps']:6.1f} kbit/s  "
+          f"stall {cell['zero_window_ms']:6.0f} ms  "
+          f"probes {cell['persist_probes']:>2}  "
+          f"{cell['wall_s']:6.2f}s  {status}")
 
     print("== parallel experiment runner ==")
     parallel = run_parallel_bench(jobs=args.jobs, quick=args.quick)
@@ -167,6 +175,15 @@ def main(argv: list) -> int:
     else:
         print("tcp bench passed: same-seed reruns identical for "
               + ", ".join(tcp["cells"]))
+    if not tcp["windowed"]["passed"]:
+        print("windowed transfer FAILED: rerun diverged, no data moved, "
+              "no zero-window stall, or (full mode) no persist probes",
+              file=sys.stderr)
+        failed = True
+    else:
+        print("windowed transfer passed: rerun identical, "
+              f"{tcp['windowed']['cell']['zero_window_ms']:.0f} ms stalled, "
+              f"{tcp['windowed']['cell']['persist_probes']} probes")
     if not parallel["identical"]:
         print("parallel determinism FAILED: --jobs changed experiment "
               "reports", file=sys.stderr)

@@ -8,6 +8,14 @@ any divergence means a strategy consumed nondeterministic state (the
 repository's cardinal sin), and the benchmark reports
 ``deterministic: false`` so the CLI can fail the run.
 
+A second stage exercises RFC 9293 flow control: one x9 grid cell — a
+receiver-limited windowed transfer whose application drains at half the
+offered load — is run twice with the same seed.  The gate requires the
+rerun to be field-identical, the transfer to move data, and the sender
+to have measurably stalled on the closed window; in the full (non-quick)
+run the cell includes interface flaps, so persist probes must also have
+fired (a lost window update must be survivable, not merely unlikely).
+
 Speed numbers are informational; determinism is the contract.
 """
 
@@ -17,11 +25,16 @@ import time
 from typing import Dict
 
 from repro.experiments.exp_tcp_cc import run_tcp_cc_trial
+from repro.experiments.exp_tcp_chaos import run_tcp_chaos_trial
+from repro.sim.units import ms
 
 #: The strategies under comparison, in report order.
 STRATEGIES = ("tahoe", "reno", "cubic")
 #: The seed matches x6's default base so numbers line up with the report.
 SEED = 113
+#: The windowed cell replicates x9's (loss 0, flap 7 s) cell exactly:
+#: seed = x9 base 131 + cell index 1.
+WINDOWED_SEED = 132
 
 
 def run_tcp_bench(quick: bool = False) -> dict:
@@ -54,4 +67,34 @@ def run_tcp_bench(quick: bool = False) -> dict:
         "cells": cells,
         "goodput_kbps": {cc: cells[cc]["goodput_kbps"] for cc in STRATEGIES},
         "deterministic": deterministic,
+        "windowed": run_windowed_bench(quick=quick),
+    }
+
+
+def run_windowed_bench(quick: bool = False) -> dict:
+    """One x9 cell under flow control; verify determinism and the stall.
+
+    ``quick`` drops the interface flaps (and with them the persist-probe
+    requirement — with a clean path the window updates always arrive);
+    the full run keeps the 7-second flap cadence that forces probing.
+    """
+    flap_ms = 0.0 if quick else 7000.0
+    started = time.perf_counter()
+    outcome = run_tcp_chaos_trial(0.0, flap_period_ns=ms(flap_ms),
+                                  seed=WINDOWED_SEED)
+    wall_s = time.perf_counter() - started
+    rerun = run_tcp_chaos_trial(0.0, flap_period_ns=ms(flap_ms),
+                                seed=WINDOWED_SEED)
+    identical = outcome == rerun
+    passed = (identical
+              and outcome["goodput_kbps"] > 0
+              and outcome["zero_window_ms"] > 0
+              and (quick or outcome["persist_probes"] > 0))
+    return {
+        "quick": quick,
+        "flap_period_ms": flap_ms,
+        "seed": WINDOWED_SEED,
+        "cell": dict(outcome, wall_s=round(wall_s, 4),
+                     rerun_identical=identical),
+        "passed": passed,
     }

@@ -327,6 +327,29 @@ class Config:
     #: RFC 6298 retransmission-timeout bounds, nanoseconds.
     tcp_min_rto: int = ms(400)
     tcp_max_rto: int = ms(16_000)
+    #: RFC 9293 receiver flow control: every segment advertises the free
+    #: space left in the receive buffer (``wnd``), the sender limits its
+    #: flight to ``min(cwnd, peer rwnd)``, and a closed window is probed
+    #: by an exponentially backed-off persist timer instead of being
+    #: hammered by the retransmission timer.  Off by default: the seed's
+    #: fixed ``DEFAULT_WINDOW_BYTES`` behaviour, byte-identical.
+    tcp_flow_control: bool = False
+    #: Receive-buffer capacity per connection, bytes (the ceiling on the
+    #: advertised window).  The default matches the seed's fixed window so
+    #: a fast-draining application behaves like the legacy stack.  Only
+    #: meaningful with ``tcp_flow_control``.
+    tcp_recv_buffer: int = 4096
+    #: RFC 9293 3.8.6.3 delayed ACKs: pure data ACKs are held until a
+    #: second segment arrives or the timeout below fires.  Out-of-order
+    #: segments, FIN, and window updates still ACK immediately.  Off by
+    #: default (the seed ACKed every segment).
+    tcp_delayed_ack: bool = False
+    #: Delayed-ACK flush timeout, nanoseconds (RFC caps it at 500 ms).
+    tcp_delayed_ack_timeout: int = ms(200)
+    #: Nagle's algorithm (RFC 9293 3.7.4): at most one sub-MSS segment of
+    #: fresh data in flight at a time.  Off by default — the seed streams
+    #: small writes immediately, and the legacy reports depend on it.
+    tcp_nagle: bool = False
 
     # ------------------------------------------------------------ fast path
     #: Event-queue implementation for Scenario-built simulators: "heap"

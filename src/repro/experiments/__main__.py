@@ -11,11 +11,12 @@ Usage::
 
 Experiment ids: ``e1`` (same-subnet switch), ``f6`` (device switching),
 ``f7`` (registration time-line), ``f3`` (routing options), ``a1``
-(foreign-agent ablation), ``x1``-``x8`` (extensions; ``x4`` is the
+(foreign-agent ablation), ``x1``-``x9`` (extensions; ``x4`` is the
 sharded 100-1000-host home-agent fleet sweep, ``x5`` the fault-injection
 chaos sweep, ``x6`` the TCP congestion-control sweep, ``x7`` the
 10^3-10^6 aggregate fleet-scale sweep, ``x8`` the audited binding-plane
-chaos grid under live registration load).
+chaos grid under live registration load, ``x9`` the x5 fault grid re-run
+over a receiver-limited RFC 9293 TCP session).
 
 ``--jobs N`` runs each experiment's independent trials across N worker
 processes; reports are byte-identical to ``--jobs 1`` (seeds are
@@ -68,6 +69,7 @@ from repro.experiments.exp_smart_correspondent import (
     run_smart_correspondent_experiment,
 )
 from repro.experiments.exp_tcp_cc import run_tcp_cc_experiment
+from repro.experiments.exp_tcp_chaos import run_tcp_chaos_experiment
 
 RUNNERS = {
     "e1": ("Same-subnet address switch (Section 4)",
@@ -101,6 +103,9 @@ RUNNERS = {
            "live registration load, audited (extension)",
            lambda jobs: run_plane_chaos_experiment(jobs=jobs)
            .format_report()),
+    "x9": ("TCP chaos: the x5 fault grid over a windowed RFC 9293 "
+           "session (extension)",
+           lambda jobs: run_tcp_chaos_experiment(jobs=jobs).format_report()),
 }
 
 

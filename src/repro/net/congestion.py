@@ -87,6 +87,17 @@ class CongestionControl:
         """Usable send window in bytes (cwnd clamped by the fixed rwnd)."""
         return min(self.max_window, self.cwnd)
 
+    def effective_window(self, peer_rwnd: Optional[int]) -> int:
+        """Send window = min(cwnd, peer's advertised window) (RFC 9293).
+
+        ``peer_rwnd`` is None until the peer has advertised (and always,
+        when flow control is off) — then the fixed ``max_window`` clamp
+        stands in for it, which is exactly the seed's behaviour.
+        """
+        if peer_rwnd is None:
+            return self.window()
+        return min(self.cwnd, peer_rwnd)
+
     # ----------------------------------------------------------------- events
 
     def on_ack(self, acked: int, now: int, srtt: Optional[int]) -> None:
@@ -108,6 +119,13 @@ class CongestionControl:
 
     def on_exit_recovery(self, now: int) -> None:
         """A cumulative ACK covered everything sent before recovery."""
+
+    def on_rwnd_limited(self, now: int) -> None:
+        """An ACK arrived while the *receiver's* window is the binding
+        constraint (RFC 5681 guidance): by default the strategy holds
+        cwnd flat instead of growing a burst the peer cannot absorb.
+        Strategies may override (e.g. to freeze internal epoch clocks).
+        """
 
     # ------------------------------------------------------------------ misc
 

@@ -23,9 +23,26 @@ This implementation covers what the reproduction needs:
 * selective acknowledgments (RFC 2018, ``Config.tcp_sack``): the receiver
   buffers out-of-order segments and advertises up to three SACK blocks;
   the sender keeps a :class:`~repro.net.sack.SackScoreboard` and skips
-  already-received ranges when retransmitting.
+  already-received ranges when retransmitting;
+* receiver flow control (RFC 9293, ``Config.tcp_flow_control``): every
+  segment advertises the free space in a configurable receive buffer
+  (``TCPSegment.wnd``), applications consume from the buffer explicitly
+  (or implicitly — :meth:`TCPConnection.consume`), the sender's flight is
+  bounded by ``min(cwnd, peer rwnd)``, and a closed window is probed by
+  an exponentially backed-off persist timer rather than retransmitted
+  into (zero-window probes never count against ``MAX_RETRANSMITS``);
+* delayed ACKs (RFC 9293 3.8.6.3, ``Config.tcp_delayed_ack``):
+  every-second-segment or timeout, with immediate ACKs for out-of-order
+  data, FIN, and window updates;
+* Nagle's algorithm (RFC 9293 3.7.4, ``Config.tcp_nagle``): at most one
+  sub-MSS segment of fresh data outstanding (payloads are indivisible
+  application objects here, so small writes are delayed, not coalesced);
+* simultaneous close (FIN_WAIT_1 -> CLOSING -> TIME_WAIT), TIME_WAIT
+  re-ACK + 2MSL restart on a retransmitted FIN, and in-window RST
+  validation.
 
-Out of scope: urgent data, window scaling, delayed ACKs.
+Out of scope: urgent data, window scaling (windows are byte counts, not
+16-bit wire fields, so scaling has nothing to do).
 """
 
 from __future__ import annotations
@@ -74,17 +91,23 @@ class TCPSegment:
     retransmission, so construction cost is part of the datapath.
     Treat instances as immutable.  ``sack`` carries the receiver's
     advertised ``(start, end)`` blocks (empty when SACK is off).
+    ``wnd`` is the advertised receive window in bytes, or ``-1`` when the
+    sender does not advertise one (flow control off — the legacy wire
+    image).  Like ``sack`` it is wire-accounted, but its 16-bit field is
+    part of ``TCP_HEADER_BYTES`` (a real TCP header always carries it),
+    so advertising costs no extra bytes.
     ``size_bytes`` is precomputed at construction (immutability makes the
     cache trivially sound); delivered segments are recycled through the
     class arena once the receiver is provably done with them.
     """
 
     __slots__ = ("src_port", "dst_port", "seq", "ack", "flags", "payload",
-                 "sack", "size_bytes")
+                 "sack", "wnd", "size_bytes")
 
     def __init__(self, src_port: int, dst_port: int, seq: int, ack: int,
                  flags: frozenset, payload: Optional[AppData] = None,
-                 sack: Tuple[Tuple[int, int], ...] = ()) -> None:
+                 sack: Tuple[Tuple[int, int], ...] = (),
+                 wnd: int = -1) -> None:
         self.src_port = src_port
         self.dst_port = dst_port
         self.seq = seq
@@ -92,6 +115,7 @@ class TCPSegment:
         self.flags = flags
         self.payload = payload if payload is not None else AppData()
         self.sack = sack
+        self.wnd = wnd
         size = TCP_HEADER_BYTES + self.payload.size_bytes
         if sack:
             size += SACK_OPTION_BASE_BYTES + SACK_BLOCK_BYTES * len(sack)
@@ -100,7 +124,8 @@ class TCPSegment:
     @classmethod
     def acquire(cls, src_port: int, dst_port: int, seq: int, ack: int,
                 flags: frozenset, payload: Optional[AppData] = None,
-                sack: Tuple[Tuple[int, int], ...] = ()) -> "TCPSegment":
+                sack: Tuple[Tuple[int, int], ...] = (),
+                wnd: int = -1) -> "TCPSegment":
         """Pooled constructor: identical semantics to ``TCPSegment(...)``."""
         pool = cls._pool
         if pool:
@@ -113,12 +138,13 @@ class TCPSegment:
             self.flags = flags
             self.payload = payload if payload is not None else AppData()
             self.sack = sack
+            self.wnd = wnd
             size = TCP_HEADER_BYTES + self.payload.size_bytes
             if sack:
                 size += SACK_OPTION_BASE_BYTES + SACK_BLOCK_BYTES * len(sack)
             self.size_bytes = size
             return self
-        return cls(src_port, dst_port, seq, ack, flags, payload, sack)
+        return cls(src_port, dst_port, seq, ack, flags, payload, sack, wnd)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, TCPSegment):
@@ -128,17 +154,19 @@ class TCPSegment:
                 and self.seq == other.seq and self.ack == other.ack
                 and self.flags == other.flags
                 and self.payload == other.payload
-                and self.sack == other.sack)
+                and self.sack == other.sack
+                and self.wnd == other.wnd)
 
     def __hash__(self) -> int:
         return hash((TCPSegment, self.src_port, self.dst_port, self.seq,
-                     self.ack, self.flags, self.payload, self.sack))
+                     self.ack, self.flags, self.payload, self.sack,
+                     self.wnd))
 
     def __repr__(self) -> str:
         return (f"TCPSegment(src_port={self.src_port}, "
                 f"dst_port={self.dst_port}, seq={self.seq}, ack={self.ack}, "
                 f"flags={self.flags!r}, payload={self.payload!r}, "
-                f"sack={self.sack!r})")
+                f"sack={self.sack!r}, wnd={self.wnd})")
 
     @property
     def seq_space(self) -> int:
@@ -158,6 +186,8 @@ class TCPSegment:
         if self.sack:
             blocks = ",".join(f"{start}-{end}" for start, end in self.sack)
             base += f" sack={blocks}"
+        if self.wnd >= 0:
+            base += f" wnd={self.wnd}"
         return base
 
 
@@ -169,6 +199,7 @@ class TCPState(enum.Enum):
     ESTABLISHED = "established"
     FIN_WAIT_1 = "fin-wait-1"
     FIN_WAIT_2 = "fin-wait-2"
+    CLOSING = "closing"
     CLOSE_WAIT = "close-wait"
     LAST_ACK = "last-ack"
     TIME_WAIT = "time-wait"
@@ -190,9 +221,11 @@ DEFAULT_WINDOW_BYTES = 4096
 #: Maximum payload bytes per segment.
 DEFAULT_MSS = 512
 
-#: States in which the sender may have data in flight.
+#: States in which the sender may have data in flight.  CLOSING belongs
+#: here because our FIN is still unacknowledged and must keep
+#: retransmitting (simultaneous close).
 _DATA_STATES = (TCPState.ESTABLISHED, TCPState.CLOSE_WAIT,
-                TCPState.FIN_WAIT_1, TCPState.LAST_ACK)
+                TCPState.FIN_WAIT_1, TCPState.CLOSING, TCPState.LAST_ACK)
 
 
 class RtoEstimator:
@@ -303,11 +336,47 @@ class TCPConnection:
         # Receive side.
         self.rcv_nxt = 0
 
-        # Congestion control: a pluggable strategy.
+        # Flow control (RFC 9293).  Off by default: segments advertise no
+        # window (wnd=-1 on the wire) and the sender falls back to the
+        # seed's fixed DEFAULT_WINDOW_BYTES clamp inside the strategy.
+        self._fc = config.tcp_flow_control
+        self.rcv_buffer = config.tcp_recv_buffer
+        self._rcv_buffered = 0           # delivered-not-yet-consumed bytes
+        #: When True (default), delivered data is consumed the moment the
+        #: application callback returns — the legacy fast-reader model.
+        #: Set False and call :meth:`consume` to model a slow application.
+        self.auto_consume = True
+        self._last_advertised_wnd = -1
+        self.peer_rwnd: Optional[int] = None
+        self._wnd_seq = -1               # RFC 9293 3.10.7.4 update ordering
+        self._wnd_ack = -1
+        self._persist_event: Optional[Event] = None
+        self._persist_backoff = 0
+        self._probe_seq: Optional[int] = None  # seq of the in-flight probe
+        self.persist_probes = 0
+        self._zw_accum_ns = 0            # closed stall intervals, summed
+        self._zw_since: Optional[int] = None
+        self._rwnd_gauge = None          # lazy: only materialises with fc on
+
+        # Delayed ACKs (RFC 9293 3.8.6.3).
+        self._delack = config.tcp_delayed_ack
+        self._delack_timeout = config.tcp_delayed_ack_timeout
+        self._delack_pending = 0         # in-order data segments unACKed
+        self._delack_event: Optional[Event] = None
+        self.delayed_acks = 0
+
+        # Nagle (RFC 9293 3.7.4).
+        self._nagle = config.tcp_nagle
+
+        # Congestion control: a pluggable strategy.  With flow control on
+        # the peer's advertised window replaces the fixed clamp, so the
+        # strategy's cap rises to the receive-buffer size.
         name = (congestion_control if congestion_control is not None
                 else config.tcp_congestion_control)
+        max_window = (max(DEFAULT_WINDOW_BYTES, self.rcv_buffer)
+                      if self._fc else DEFAULT_WINDOW_BYTES)
         self.cc: CongestionControl = make_congestion_control(
-            name, mss=DEFAULT_MSS, max_window=DEFAULT_WINDOW_BYTES,
+            name, mss=DEFAULT_MSS, max_window=max_window,
             initial_cwnd=initial_cwnd, initial_ssthresh=initial_ssthresh)
         self._dupacks = 0
         self._in_recovery = False
@@ -328,6 +397,7 @@ class TCPConnection:
         self._timing_sent_at = 0
         self._retransmit_event: Optional[Event] = None
         self._retransmit_count = 0
+        self._timewait_event: Optional[Event] = None
 
         # Callbacks.
         self.on_established: Optional[Callable[[], None]] = None
@@ -385,6 +455,46 @@ class TCPConnection:
     def _rto_backoff(self) -> int:
         return self._rto_est.backoff
 
+    @property
+    def rcv_buffered(self) -> int:
+        """Bytes delivered in order but not yet consumed by the app."""
+        return self._rcv_buffered
+
+    @property
+    def zero_window_ns(self) -> int:
+        """Total time spent stalled on the peer's window, live.
+
+        Counts every persist-mode interval: windows of exactly zero and
+        windows too small to admit the next (indivisible) payload both
+        stall the sender identically.  An in-progress stall is included.
+        """
+        open_interval = (self.sim.now - self._zw_since
+                         if self._zw_since is not None else 0)
+        return self._zw_accum_ns + open_interval
+
+    def _rcv_window(self) -> int:
+        """Free receive-buffer space: what we may advertise (RFC 9293)."""
+        return max(0, self.rcv_buffer - self._rcv_buffered)
+
+    def consume(self, nbytes: int) -> None:
+        """The application read *nbytes* from the receive buffer.
+
+        Only meaningful with ``Config.tcp_flow_control`` and
+        ``auto_consume`` off.  Reopening a window the peer last saw
+        closed (or nearly so) sends an immediate window-update ACK, so a
+        stalled sender recovers without waiting for its next persist
+        probe.
+        """
+        if nbytes <= 0:
+            return
+        self._rcv_buffered = max(0, self._rcv_buffered - nbytes)
+        if not self._fc or self.state == TCPState.CLOSED:
+            return
+        threshold = min(DEFAULT_MSS, self.rcv_buffer // 2)
+        if (0 <= self._last_advertised_wnd < threshold
+                and self._rcv_window() >= threshold):
+            self._send_ack()
+
     def send(self, data: AppData) -> None:
         """Queue application data for reliable delivery.
 
@@ -414,7 +524,7 @@ class TCPConnection:
         """Half-close: FIN after any queued data."""
         if self.state in (TCPState.CLOSED, TCPState.TIME_WAIT,
                           TCPState.LAST_ACK, TCPState.FIN_WAIT_1,
-                          TCPState.FIN_WAIT_2):
+                          TCPState.FIN_WAIT_2, TCPState.CLOSING):
             return
         self._fin_queued = True
         self._send_buffer.append(_SendItem(offset=self._next_offset,
@@ -447,7 +557,8 @@ class TCPConnection:
         """Transmit whatever the window allows."""
         if self.state not in _DATA_STATES:
             return
-        window_limit = self.snd_una + self.cc.window()
+        window_limit = self.snd_una + self.cc.effective_window(
+            self.peer_rwnd if self._fc else None)
         base = self.iss + 1
         for item in self._send_buffer:
             seq = base + item.offset
@@ -463,6 +574,12 @@ class TCPConnection:
                 self.snd_nxt = max(self.snd_nxt, end)
                 continue
             fresh = end > self.snd_max
+            if (self._nagle and fresh and not item.fin
+                    and item.data.size_bytes < DEFAULT_MSS
+                    and self.snd_nxt > self.snd_una):
+                # Nagle: hold fresh sub-MSS data while anything is
+                # unacknowledged (one small segment in flight at a time).
+                break
             if item.fin:
                 self._emit(flags=frozenset({FLAG_FIN, FLAG_ACK}), seq=seq)
             else:
@@ -475,11 +592,16 @@ class TCPConnection:
                 # retransmission's ACK is ambiguous and must not feed the
                 # estimator.
                 self._start_timing(seq)
-        if self.snd_nxt > self.snd_una and self._retransmit_event is None:
+        if (self.snd_nxt > self.snd_una and self._retransmit_event is None
+                and self._persist_event is None):
             # Only arm if idle: re-arming on every application write would
             # keep pushing the deadline out and the timer would never fire
             # while the application keeps producing data.
             self._arm_retransmit()
+        elif self.snd_una == self.snd_max and self._window_blocked():
+            # Everything sent is acknowledged, data is queued, and the
+            # peer's window admits none of it: probe (RFC 9293 3.8.6.1).
+            self._enter_persist()
 
     def _emit(self, flags: frozenset, seq: Optional[int] = None,
               payload: Optional[AppData] = None) -> None:
@@ -487,18 +609,175 @@ class TCPConnection:
         if (self._reassembly is not None and self._reassembly
                 and FLAG_ACK in flags):
             sack = self._reassembly.sack_blocks(lambda seg: seg.seq_space)
+        wnd = -1
+        if self._fc:
+            wnd = self._rcv_window()
+            self._last_advertised_wnd = wnd
+            if self._rwnd_gauge is None:
+                self._rwnd_gauge = self.sim.metrics.gauge(
+                    "tcp", "rwnd_bytes", host=self._service.host.name)
+            self._rwnd_gauge.set(wnd)
+        if self._delack_pending:
+            # Whatever goes out carries rcv_nxt, so the held ACK
+            # piggybacks on it.
+            self._delack_clear()
         segment = TCPSegment.acquire(
             self.local_port, self.remote_port,
             seq if seq is not None else self.snd_nxt,
             self.rcv_nxt, flags,
             payload if payload is not None else AppData.acquire(None, 0),
-            sack,
+            sack, wnd,
         )
         self.segments_sent += 1
         self._service.transmit(self, segment)
 
     def _send_ack(self) -> None:
         self._emit(flags=frozenset({FLAG_ACK}))
+
+    # ------------------------------------------------- flow control (RFC 9293)
+
+    def _update_peer_wnd(self, segment: TCPSegment) -> None:
+        """Track the peer's advertised window (newest segment wins)."""
+        wnd = segment.wnd
+        if wnd < 0:
+            return  # the peer does not advertise (legacy stack)
+        if (segment.seq > self._wnd_seq
+                or (segment.seq == self._wnd_seq
+                    and segment.ack >= self._wnd_ack)):
+            self._wnd_seq = segment.seq
+            self._wnd_ack = segment.ack
+            self.peer_rwnd = wnd
+            if not self._window_blocked():
+                probing = self._persist_event is not None
+                self._exit_persist()
+                if probing:
+                    self._pump()
+
+    def _window_blocked(self) -> bool:
+        """True when pending data exists but the peer's window admits none.
+
+        Payloads are indivisible application objects, so "blocked" is not
+        only ``rwnd == 0``: a window smaller than the next item stalls the
+        sender just as hard, and the persist machinery must cover it —
+        otherwise a lost window-update ACK deadlocks the connection.
+        """
+        if not self._fc or self.peer_rwnd is None or not self._send_buffer:
+            return False
+        base = self.iss + 1
+        for item in self._send_buffer:
+            seq = base + item.offset
+            end = seq + (1 if item.fin else item.data.size_bytes)
+            if end <= self.snd_una:
+                continue
+            return end > self.snd_una + self.peer_rwnd
+        return False
+
+    def _enter_persist(self) -> None:
+        """Begin window probing: the RTO never fires while stalled."""
+        if self._persist_event is not None:
+            return
+        self._cancel_retransmit()
+        if self._zw_since is None:
+            self._zw_since = self.sim.now
+        self._persist_backoff = 0
+        self.sim.trace.emit("tcp", "zero_window", conn=self._describe(),
+                            rwnd=self.peer_rwnd,
+                            pending=len(self._send_buffer))
+        self._arm_persist()
+
+    def _exit_persist(self) -> None:
+        """The window admits data again (or the connection is done)."""
+        self._cancel_persist()
+        self._probe_seq = None
+        self._persist_backoff = 0
+        if self._zw_since is not None:
+            self._zw_accum_ns += self.sim.now - self._zw_since
+            self._zw_since = None
+
+    def _arm_persist(self) -> None:
+        delay = min(self._rto_est.max_rto,
+                    self._rto_est.current() << self._persist_backoff)
+        self._persist_event = self.sim.call_later(
+            delay, self._on_persist_timeout,
+            label=f"tcp-persist:{self.local_port}")
+
+    def _cancel_persist(self) -> None:
+        if self._persist_event is not None:
+            self._persist_event.cancel()
+            self._persist_event = None
+
+    def _on_persist_timeout(self) -> None:
+        self._persist_event = None
+        if self.state not in _DATA_STATES or not self._send_buffer:
+            self._exit_persist()
+            return
+        if not self._window_blocked():
+            self._exit_persist()
+            self._pump()  # the window opened while the timer was pending
+            return
+        self._send_probe()
+        # Exponential backoff, bounded like the RTO's; probes continue
+        # indefinitely — a zero window is flow control, not a dead peer,
+        # so they never count against MAX_RETRANSMITS.
+        self._persist_backoff = min(self._persist_backoff + 1,
+                                    self._rto_est.backoff_limit)
+        self._arm_persist()
+
+    def _send_probe(self) -> None:
+        """Transmit the first pending item into the closed window.
+
+        RFC 9293's probe is one byte; payloads here are indivisible
+        application objects, so the probe carries the whole next item
+        (at most one MSS).  The receiver drops what it cannot buffer and
+        answers with an ACK carrying its current window — which is all
+        the probe is for.  Probes are never RTT-timed (Karn) and advance
+        ``snd_max`` so the eventual ACK is recognised as valid.
+        """
+        base = self.iss + 1
+        for item in self._send_buffer:
+            seq = base + item.offset
+            end = seq + (1 if item.fin else item.data.size_bytes)
+            if end <= self.snd_una:
+                continue
+            self.persist_probes += 1
+            self._service.persist_probes_counter().inc()
+            self.sim.trace.emit("tcp", "zero_window_probe",
+                                conn=self._describe(), seq=seq,
+                                attempt=self._persist_backoff + 1)
+            if item.fin:
+                self._emit(flags=frozenset({FLAG_FIN, FLAG_ACK}), seq=seq)
+            else:
+                self._emit(flags=frozenset({FLAG_ACK}), seq=seq,
+                           payload=item.data)
+            self._probe_seq = seq
+            self.snd_nxt = max(self.snd_nxt, end)
+            self.snd_max = max(self.snd_max, end)
+            return
+
+    # --------------------------------------------- delayed ACKs (RFC 9293)
+
+    def _delay_ack(self) -> None:
+        """Hold the ACK for one more segment or the delack timeout."""
+        self._delack_pending += 1
+        if self._delack_pending >= 2:
+            self._send_ack()  # _emit clears the pending state
+            return
+        self.delayed_acks += 1
+        self._service.delayed_acks_counter().inc()
+        self._delack_event = self.sim.call_later(
+            self._delack_timeout, self._on_delack_timeout,
+            label=f"tcp-delack:{self.local_port}")
+
+    def _on_delack_timeout(self) -> None:
+        self._delack_event = None
+        if self._delack_pending:
+            self._send_ack()
+
+    def _delack_clear(self) -> None:
+        self._delack_pending = 0
+        if self._delack_event is not None:
+            self._delack_event.cancel()
+            self._delack_event = None
 
     # ----------------------------------------------------- retransmission/RTT
 
@@ -526,6 +805,14 @@ class TCPConnection:
         if self.snd_una >= self.snd_max and self.state not in (
                 TCPState.SYN_SENT, TCPState.SYN_RECEIVED):
             return  # everything acknowledged meanwhile
+        if self._window_blocked() and self.state in _DATA_STATES:
+            # The window closed (or shrank below the next item) with data
+            # in flight: this is a stall, not congestion.  Rewind and hand
+            # the frontier to the persist machinery — probes never count
+            # against MAX_RETRANSMITS and never back off the estimator.
+            self.snd_nxt = self.snd_una
+            self._enter_persist()
+            return
         self._service.rto_counter.value += 1
         self._retransmit_count += 1
         if self._retransmit_count > MAX_RETRANSMITS:
@@ -570,10 +857,29 @@ class TCPConnection:
     def handle_segment(self, segment: TCPSegment) -> None:
         """Process one received segment (the whole state machine)."""
         if FLAG_RST in segment.flags:
+            if not self._rst_acceptable(segment):
+                # RFC 9293 3.10.7.3: an out-of-window RST is a blind-reset
+                # attempt (or ancient duplicate) and must not kill the
+                # connection.
+                self.sim.trace.emit("tcp", "rst_ignored",
+                                    conn=self._describe(), seq=segment.seq)
+                return
             self.sim.trace.emit("tcp", "reset_received", conn=self._describe())
             if self.on_reset is not None:
                 self.on_reset()
             self._teardown()
+            return
+        if self._fc:
+            self._update_peer_wnd(segment)
+        if self.state == TCPState.TIME_WAIT:
+            # RFC 9293 3.10.7.4: a retransmitted FIN (our final ACK was
+            # lost, the peer is stuck in LAST_ACK) must be re-ACKed and
+            # the 2MSL clock restarted.  Pure ACKs are ignored — re-ACKing
+            # them would ping-pong forever between two simultaneous-close
+            # peers that are both in TIME_WAIT.
+            if segment.seq_space > 0:
+                self._send_ack()
+                self._arm_time_wait()
             return
         if self.state == TCPState.SYN_SENT:
             self._handle_syn_sent(segment)
@@ -625,10 +931,17 @@ class TCPConnection:
                 # An ACK that advances nothing while data is in flight.
                 self._service.dup_ack_counter.value += 1
                 if (self.cc.supports_fast_retransmit
+                        and self._probe_seq is None
                         and segment.payload.size_bytes == 0
                         and FLAG_SYN not in segment.flags
                         and FLAG_FIN not in segment.flags):
+                    # Rejected zero-window probes elicit dup ACKs too, but
+                    # those signal a closed window, not a hole.
                     self._on_dup_ack()
+            if self._fc:
+                # A pure window update carries no new ack; the reopened
+                # window may admit queued data.
+                self._pump()
             return
         acked = ack - self.snd_una
         if self._timing_seq is not None and ack > self._timing_seq:
@@ -638,6 +951,8 @@ class TCPConnection:
         if self.snd_nxt < ack:
             self.snd_nxt = ack  # a late ACK can outrun a rewound send point
         self._retransmit_count = 0
+        if self._probe_seq is not None and ack > self._probe_seq:
+            self._probe_seq = None  # the probe itself was accepted
         if self._scoreboard is not None:
             self._scoreboard.advance(ack)
         if self._in_recovery:
@@ -653,12 +968,19 @@ class TCPConnection:
                 self._retransmit_hole()
         else:
             self._dupacks = 0
-            self.cc.on_ack(acked, self.sim.now, self._rto_est.srtt)
+            if (self._fc and self.peer_rwnd is not None
+                    and self.peer_rwnd < self.cc.cwnd):
+                # RFC 5681 caution: the receiver, not the network, is the
+                # bottleneck — growing cwnd would only build a burst for
+                # the moment the window reopens.
+                self.cc.on_rwnd_limited(self.sim.now)
+            else:
+                self.cc.on_ack(acked, self.sim.now, self._rto_est.srtt)
         self._trim_send_buffer()
         if self.snd_una >= self.snd_max:
             self._cancel_retransmit()
             self._on_all_acked()
-        else:
+        elif self._persist_event is None:
             self._arm_retransmit()
         self._pump()
 
@@ -744,6 +1066,10 @@ class TCPConnection:
     def _on_all_acked(self) -> None:
         if self.state == TCPState.FIN_WAIT_1 and self._fin_queued:
             self.state = TCPState.FIN_WAIT_2
+        elif self.state == TCPState.CLOSING:
+            # Simultaneous close, second half: the peer just acknowledged
+            # our FIN (we already consumed theirs).
+            self._enter_time_wait()
         elif self.state == TCPState.LAST_ACK:
             self._teardown()
 
@@ -751,6 +1077,14 @@ class TCPConnection:
         has_fin = FLAG_FIN in segment.flags
         length = segment.payload.size_bytes
         if length == 0 and not has_fin:
+            return
+        if (self._fc and segment.seq + segment.seq_space
+                > self.rcv_nxt + self._rcv_window()):
+            # Beyond our advertised window: a zero-window probe, or a
+            # sender overrunning a window that shrank in flight.  Drop the
+            # data; the immediate ACK re-advertises the current window
+            # (RFC 9293 3.8.6.1) — that answer is what unblocks the peer.
+            self._send_ack()
             return
         if segment.seq != self.rcv_nxt:
             if self._reassembly is not None and segment.seq > self.rcv_nxt:
@@ -761,6 +1095,7 @@ class TCPConnection:
             # otherwise).
             self._send_ack()
             return
+        filled_hole = self._reassembly is not None and bool(self._reassembly)
         self._deliver(segment)
         if self._reassembly is not None:
             self._reassembly.drop_below(self.rcv_nxt)
@@ -770,7 +1105,13 @@ class TCPConnection:
                     break
                 self._deliver(queued)
                 self._reassembly.drop_below(self.rcv_nxt)
-        self._send_ack()
+        if (self._delack and not has_fin and not filled_hole
+                and self.state in _DATA_STATES):
+            # Plain in-order data with no out-of-order condition pending:
+            # the ACK may wait for a ride (RFC 9293 3.8.6.3).
+            self._delay_ack()
+        else:
+            self._send_ack()
 
     def _deliver(self, segment: TCPSegment) -> None:
         """Consume one in-order segment (payload and/or FIN)."""
@@ -778,8 +1119,14 @@ class TCPConnection:
         if length > 0:
             self.rcv_nxt += length
             self.bytes_received += length
+            if self._fc:
+                self._rcv_buffered += length
             if self.on_data is not None:
                 self.on_data(segment.payload)
+            if self._fc and self.auto_consume:
+                # Legacy fast-reader model: the application keeps up, so
+                # the advertised window never closes on its account.
+                self._rcv_buffered -= length
         if FLAG_FIN in segment.flags:
             self.rcv_nxt += 1
             self._handle_fin()
@@ -788,19 +1135,56 @@ class TCPConnection:
         if self.state == TCPState.ESTABLISHED:
             self.state = TCPState.CLOSE_WAIT
         elif self.state == TCPState.FIN_WAIT_2:
-            self.state = TCPState.TIME_WAIT
-            self.sim.post_later(TIME_WAIT_DELAY, self._teardown,
-                                label=f"tcp-timewait:{self.local_port}")
+            self._enter_time_wait()
         elif self.state == TCPState.FIN_WAIT_1:
-            self.state = TCPState.TIME_WAIT
-            self.sim.post_later(TIME_WAIT_DELAY, self._teardown,
-                                label=f"tcp-timewait:{self.local_port}")
+            # Simultaneous close (RFC 9293 figure 13): both FINs crossed
+            # in flight.  Our own FIN is still unacknowledged — CLOSING
+            # holds it on the retransmit path until the peer's ACK lands,
+            # and only then does TIME_WAIT begin.
+            self.state = TCPState.CLOSING
         if self.on_close is not None:
             callback, self.on_close = self.on_close, None
             callback()
 
+    def _enter_time_wait(self) -> None:
+        self.state = TCPState.TIME_WAIT
+        self._arm_time_wait()
+
+    def _arm_time_wait(self) -> None:
+        """(Re)start the 2MSL clock; a retransmitted FIN restarts it."""
+        if self._timewait_event is not None:
+            self._timewait_event.cancel()
+        self._timewait_event = self.sim.call_later(
+            TIME_WAIT_DELAY, self._on_time_wait_expired,
+            label=f"tcp-timewait:{self.local_port}")
+
+    def _on_time_wait_expired(self) -> None:
+        self._timewait_event = None
+        self._teardown()
+
+    def _rst_acceptable(self, segment: TCPSegment) -> bool:
+        """RFC 9293 3.10.7.3: only an in-window RST resets the connection.
+
+        Deviation (documented in PROTOCOL.md §8): this wire format has no
+        ACK flag on RSTs, so the SYN_SENT check reads the ``ack`` field
+        directly, and the challenge-ACK refinement for RSTs that are
+        in-window but not exactly ``rcv_nxt`` is not modelled.
+        """
+        if self.state == TCPState.SYN_SENT:
+            return segment.ack == self.snd_nxt
+        if self.rcv_nxt == 0:
+            return True  # nothing learned yet; any reset is plausible
+        wnd = self._rcv_window() if self._fc else DEFAULT_WINDOW_BYTES
+        return (self.rcv_nxt <= segment.seq
+                < self.rcv_nxt + max(wnd, 1))
+
     def _teardown(self) -> None:
         self._cancel_retransmit()
+        self._exit_persist()
+        self._delack_clear()
+        if self._timewait_event is not None:
+            self._timewait_event.cancel()
+            self._timewait_event = None
         previous, self.state = self.state, TCPState.CLOSED
         if previous != TCPState.CLOSED:
             self._service.forget(self)
@@ -874,6 +1258,16 @@ class TCPService:
     def sack_retransmits_counter(self):
         """Counter of scoreboard-driven hole retransmissions."""
         return self.sim.metrics.counter("tcp", "sack_retransmits",
+                                        host=self.host.name)
+
+    def persist_probes_counter(self):
+        """Counter of zero-window probes sent (RFC 9293 3.8.6.1)."""
+        return self.sim.metrics.counter("tcp", "persist_probes",
+                                        host=self.host.name)
+
+    def delayed_acks_counter(self):
+        """Counter of ACKs deferred by the delayed-ACK timer."""
+        return self.sim.metrics.counter("tcp", "delayed_acks",
                                         host=self.host.name)
 
     # ------------------------------------------------------------- public API

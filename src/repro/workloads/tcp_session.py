@@ -56,6 +56,48 @@ class TcpBulkReceiver:
         return self.received_chunks == sorted(set(self.received_chunks))
 
 
+class TcpDrainReceiver(TcpBulkReceiver):
+    """A receiver whose application drains its buffer at a fixed rate.
+
+    With ``Config.tcp_flow_control`` on, this models the slow reader the
+    advertised window exists for: delivered bytes sit in the connection's
+    receive buffer (``auto_consume`` off) until the drain tick consumes
+    them.  A sender outrunning ``drain_bytes / drain_interval`` fills the
+    buffer, the advertised window closes, and the transfer proceeds at
+    the application's pace — through zero-window stalls and persist
+    probes rather than loss.
+    """
+
+    def __init__(self, host: Host, drain_bytes: int, drain_interval: int,
+                 port: int = SESSION_PORT) -> None:
+        super().__init__(host, port)
+        self.drain_bytes = drain_bytes
+        self.drain_interval = drain_interval
+        self.drained_bytes = 0
+        self._drain_event: Optional[Event] = None
+
+    def _on_connection(self, conn: TCPConnection) -> None:
+        super()._on_connection(conn)
+        conn.auto_consume = False
+        self._drain_event = self.host.sim.call_later(
+            self.drain_interval, self._drain, label="tcp-drain")
+
+    def _drain(self) -> None:
+        conn = self.connection
+        if conn is not None and conn.rcv_buffered > 0:
+            take = min(self.drain_bytes, conn.rcv_buffered)
+            conn.consume(take)
+            self.drained_bytes += take
+        if not self.closed:
+            self._drain_event = self.host.sim.call_later(
+                self.drain_interval, self._drain, label="tcp-drain")
+
+    def stop_draining(self) -> None:
+        if self._drain_event is not None:
+            self._drain_event.cancel()
+            self._drain_event = None
+
+
 class TcpBulkSender:
     """Correspondent side: opens the session and streams numbered chunks."""
 

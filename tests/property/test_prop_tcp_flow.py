@@ -1,0 +1,147 @@
+"""Properties of the RFC 9293 flow-control seam.
+
+Three contracts:
+
+1. Knobs-off is the status quo: spelling out every ``tcp_*`` flow knob
+   at its default value is byte-identical to the default config for the
+   pre-existing experiments, so the flow-control machinery is invisible
+   until opted into.
+2. The x9 sweep is ``--jobs``-invariant and run-to-run deterministic:
+   every cell's randomness is addressed by its own seed, never by the
+   worker that happened to execute it.
+3. A receiver-limited transfer that stalls on a closed window recovers
+   via persist probes even when a mobility handoff lands mid-stall —
+   the scenario where a lost window-update ACK would otherwise deadlock
+   the connection forever.
+"""
+
+from repro.api import Scenario
+from repro.config import DEFAULT_CONFIG
+from repro.experiments.harness import as_plain_data
+from repro.experiments import (
+    run_chaos_experiment,
+    run_smart_correspondent_experiment,
+    run_tcp_cc_experiment,
+)
+from repro.experiments.exp_tcp_chaos import (
+    build_tcp_chaos_trials,
+    run_tcp_chaos_experiment,
+    run_tcp_chaos_trial,
+)
+from repro.sim.units import ms, s
+from repro.workloads.tcp_session import TcpBulkSender, TcpDrainReceiver
+
+#: Every flow-control knob spelled out at its default value.
+FLOW_OFF_CONFIG = DEFAULT_CONFIG.with_overrides(
+    tcp_flow_control=False, tcp_recv_buffer=4096,
+    tcp_delayed_ack=False, tcp_delayed_ack_timeout=ms(200),
+    tcp_nagle=False)
+#: Reduced x9 grid: the clean cell and the fast-flap cell.
+GRID = dict(loss_rates=(0.2,), flap_periods_ms=(0.0, 7000.0))
+
+
+# --------------------------------------------------- default == knobs off
+# Reduced parameters keep the suite fast; the config plumbing exercised
+# (Scenario -> Config -> TCPConnection gating) is the same as the full
+# experiments'.
+
+def test_x1_smart_correspondent_default_is_flow_control_off():
+    default = run_smart_correspondent_experiment(probes=5, seed=0)
+    explicit = run_smart_correspondent_experiment(probes=5, seed=0,
+                                                  config=FLOW_OFF_CONFIG)
+    assert as_plain_data(explicit) == as_plain_data(default)
+
+
+def test_x5_chaos_default_is_flow_control_off():
+    default = run_chaos_experiment(loss_rates=(0.2,), flap_periods_ms=(0,),
+                                   seed=0)
+    explicit = run_chaos_experiment(loss_rates=(0.2,), flap_periods_ms=(0,),
+                                    seed=0, config=FLOW_OFF_CONFIG)
+    assert as_plain_data(explicit) == as_plain_data(default)
+
+
+def test_x6_tcp_cc_default_is_flow_control_off():
+    grid = dict(ccs=("reno",), loss_rates=(0.25,), handoffs=(True,))
+    default = run_tcp_cc_experiment(seed=0, **grid)
+    explicit = run_tcp_cc_experiment(seed=0, config=FLOW_OFF_CONFIG, **grid)
+    assert as_plain_data(explicit) == as_plain_data(default)
+
+
+# --------------------------------------------------------- x9 determinism
+
+def test_tcp_chaos_report_is_jobs_invariant():
+    serial = run_tcp_chaos_experiment(seed=5, jobs=1, **GRID)
+    parallel = run_tcp_chaos_experiment(seed=5, jobs=2, **GRID)
+    assert as_plain_data(parallel) == as_plain_data(serial)
+
+
+def test_tcp_chaos_trial_is_run_to_run_deterministic():
+    first = run_tcp_chaos_trial(0.2, flap_period_ns=ms(7000), seed=9)
+    second = run_tcp_chaos_trial(0.2, flap_period_ns=ms(7000), seed=9)
+    assert first == second
+
+
+def test_tcp_chaos_trial_seeds_are_addressed_by_cell_index():
+    trials = build_tcp_chaos_trials((0.0, 0.2), (0.0, 7000.0),
+                                    seed=40, config=DEFAULT_CONFIG)
+    assert [t.params["seed"] for t in trials] == [40, 41, 42, 43]
+
+
+# ------------------------------------------- stall survives a handoff
+
+def test_zero_window_stall_recovers_across_mid_transfer_handoff():
+    """Fill the receive buffer, hand off mid-stall, then let the app
+    drain: persist probing must carry the connection across the move and
+    the backlog must arrive complete and in order afterwards."""
+    config = DEFAULT_CONFIG.with_overrides(tcp_flow_control=True,
+                                           tcp_recv_buffer=1024)
+    session: dict = {}
+
+    def start_session(testbed):
+        testbed.visit_dept()
+        # drain_bytes=0: the application reads nothing until told to.
+        receiver = TcpDrainReceiver(testbed.mobile, drain_bytes=0,
+                                    drain_interval=s(100))
+        sender = TcpBulkSender(testbed.correspondent,
+                               testbed.addresses.mh_home,
+                               interval=ms(100), chunk_bytes=256)
+        sender.start()
+        session.update(receiver=receiver, sender=sender)
+        return session
+
+    def stop_sending(testbed):
+        session["sender"].stop()
+
+    def handoff(testbed):
+        conn = session["sender"].connection
+        session["stalled_at_handoff"] = conn._persist_event is not None
+        testbed.connect_radio(register=True)
+
+    def resume_app(testbed):
+        conn = session["receiver"].connection
+        session["probes_during_stall"] = (
+            session["sender"].connection.persist_probes)
+        conn.auto_consume = True
+        conn.consume(conn.rcv_buffered)
+
+    (Scenario(seed=9, config=config)
+     .with_testbed(with_remote_correspondent=False, with_dhcp=True)
+     .with_workload(start_session, name="session")
+     .with_step(s(2), stop_sending)
+     .with_step(s(3), handoff)
+     .with_step(s(8), resume_app)
+     .run(duration=s(20)))
+
+    sender: TcpBulkSender = session["sender"]
+    receiver: TcpDrainReceiver = session["receiver"]
+    conn = sender.connection
+    # The window really was closed when the handoff hit...
+    assert session["stalled_at_handoff"]
+    # ...probes kept firing across the move (not silenced by it)...
+    assert session["probes_during_stall"] > 0
+    assert conn.persist_probes >= session["probes_during_stall"]
+    assert conn.zero_window_ns > 0
+    # ...and once the app drained, every queued chunk came through.
+    assert not sender.reset
+    assert len(receiver.received_chunks) == sender.sent_chunks
+    assert receiver.in_order

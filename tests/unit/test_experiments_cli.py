@@ -51,7 +51,8 @@ def test_jobs_output_matches_serial(capsys):
 
 def test_runner_table_covers_all_documented_ids():
     assert set(RUNNERS) == {"e1", "f6", "f7", "f3", "a1",
-                            "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8"}
+                            "x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8",
+                            "x9"}
     for name, (title, runner) in RUNNERS.items():
         assert callable(runner)
         assert title
